@@ -1,0 +1,109 @@
+//! Ablation studies for the design choices called out in DESIGN.md:
+//!
+//! (a) load-dependent vs flat conversion-efficiency curves — the paper
+//!     quotes flat 0.96/0.98 "within one percent", but Table III is only
+//!     reproducible with the droop curve;
+//! (b) thermal sub-step size in the plant model — Finding 6's
+//!     fidelity-vs-cost trade;
+//! (c) hydraulic warm-starting — the solver-cost lever that keeps the
+//!     15 s cooling step cheap.
+
+use exadigit_bench::{mw, section};
+use exadigit_cooling::{CoolingModel, PlantSpec};
+use exadigit_raps::config::SystemConfig;
+use exadigit_raps::power::{PowerDelivery, PowerModel};
+use exadigit_sim::fmi::{CoSimModel, VarRef};
+
+fn main() {
+    // ---------------- (a) conversion-efficiency curve ----------------
+    section("Ablation (a) — flat vs load-dependent conversion efficiency");
+    let curve = PowerModel::new(SystemConfig::frontier(), PowerDelivery::StandardAC);
+    let mut flat_cfg = SystemConfig::frontier();
+    // Flatten: constant η_R = 0.96, η_S = 0.98 (the paper's simplified
+    // quotes).
+    flat_cfg.conversion.rectifier_droop_low = 0.0;
+    flat_cfg.conversion.rectifier_droop_high = 0.0;
+    flat_cfg.conversion.rectifier_peak_efficiency = 0.96;
+    flat_cfg.conversion.sivoc_idle_droop = 0.0;
+    let flat = PowerModel::new(flat_cfg, PowerDelivery::StandardAC);
+
+    println!("  {:<16} {:>10} {:>10} {:>10}", "test", "paper MW", "curve MW", "flat MW");
+    let idle_paper = 7.24;
+    let peak_paper = 28.2;
+    let rows = [
+        ("idle", idle_paper, curve.uniform_power(0.0, 0.0), flat.uniform_power(0.0, 0.0)),
+        ("peak", peak_paper, curve.uniform_power(1.0, 1.0), flat.uniform_power(1.0, 1.0)),
+    ];
+    for (name, paper, with_curve, with_flat) in rows {
+        println!(
+            "  {name:<16} {paper:>10.2} {:>10.2} {:>10.2}",
+            mw(with_curve.system_w),
+            mw(with_flat.system_w)
+        );
+    }
+    let idle_err_curve = (mw(curve.uniform_power(0.0, 0.0).system_w) - idle_paper).abs();
+    let idle_err_flat = (mw(flat.uniform_power(0.0, 0.0).system_w) - idle_paper).abs();
+    println!(
+        "\n  idle error: curve {idle_err_curve:.3} MW vs flat {idle_err_flat:.3} MW — the droop\n  near idle (\"efficiency drops 1-2%\") is required to reproduce Table III."
+    );
+
+    // ---------------- (b) thermal sub-step ----------------
+    section("Ablation (b) — thermal sub-step of the plant model (Finding 6)");
+    println!("  {:>10} {:>14} {:>14} {:>12}", "substep s", "T_htws degC", "pue", "wall ms/step");
+    let mut reference_t = None;
+    for substep in [2.5f64, 5.0, 15.0] {
+        let mut spec = PlantSpec::frontier();
+        spec.thermal_substep_s = substep;
+        let mut model = CoolingModel::new(spec.clone()).unwrap();
+        model.setup(0.0);
+        let heat = spec.heat_per_cdu_w() * 0.8;
+        for i in 0..25 {
+            model.set_real(VarRef(i), heat).unwrap();
+        }
+        let t0 = std::time::Instant::now();
+        let steps = 400;
+        for k in 0..steps {
+            model.do_step(k as f64 * 15.0, 15.0).unwrap();
+        }
+        let per_step_ms = t0.elapsed().as_secs_f64() * 1e3 / steps as f64;
+        let t_htws = model.output_by_name("facility.htw_supply_temp").unwrap();
+        let pue = model.output_by_name("pue").unwrap();
+        println!("  {substep:>10.1} {t_htws:>14.3} {pue:>14.4} {per_step_ms:>12.3}");
+        if reference_t.is_none() {
+            reference_t = Some(t_htws);
+        } else {
+            let drift = (t_htws - reference_t.unwrap()).abs();
+            assert!(drift < 0.5, "substep {substep}: {drift} K drift vs reference");
+        }
+    }
+    println!("  → 5 s sub-steps match 2.5 s within noise; exact exponential volume\n    updates keep even 15 s stable (Finding 6's balance point).");
+
+    // ---------------- (c) hydraulic warm start ----------------
+    section("Ablation (c) — hydraulic Newton warm start");
+    let mut spec = PlantSpec::frontier();
+    spec.thermal_substep_s = 5.0;
+    let mut model = CoolingModel::new(spec.clone()).unwrap();
+    model.setup(0.0);
+    let heat = spec.heat_per_cdu_w() * 0.7;
+    for i in 0..25 {
+        model.set_real(VarRef(i), heat).unwrap();
+    }
+    // Cold: first step after setup; warm: steady cycling.
+    let t0 = std::time::Instant::now();
+    model.do_step(0.0, 15.0).unwrap();
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    for k in 1..50 {
+        model.do_step(k as f64 * 15.0, 15.0).unwrap();
+    }
+    let t1 = std::time::Instant::now();
+    for k in 50..250 {
+        model.do_step(k as f64 * 15.0, 15.0).unwrap();
+    }
+    let warm_ms = t1.elapsed().as_secs_f64() * 1e3 / 200.0;
+    println!("  first step (cold Jacobians): {cold_ms:>8.3} ms");
+    println!("  steady step (warm started):  {warm_ms:>8.3} ms");
+    println!(
+        "  speedup ×{:.1} — warm starting keeps the 15 s plant step far below\n  real time (paper: 24 h replay ≈ 9 min with the Modelica FMU).",
+        cold_ms / warm_ms.max(1e-9)
+    );
+}

@@ -1,0 +1,72 @@
+//! Regenerates **Table I** of the paper ("Component overview of the
+//! Frontier supercomputer") from the built-in configuration, and prints
+//! the **Fig. 3** power-distribution topology (rack → shelves → chassis →
+//! rectifiers → blades → SIVOCs → nodes).
+
+use exadigit_bench::section;
+use exadigit_raps::config::{FrontierSpec, SystemConfig};
+
+fn main() {
+    section("Table I — Component overview of the Frontier supercomputer");
+
+    println!("  {:<24} {:>8}", "Component", "Quantity");
+    for (name, qty) in [
+        ("Number of CDUs", FrontierSpec::NUM_CDUS),
+        ("Racks per CDU", FrontierSpec::RACKS_PER_CDU),
+        ("Chassis per Rack", FrontierSpec::CHASSIS_PER_RACK),
+        ("Rectifiers per Rack", FrontierSpec::RECTIFIERS_PER_RACK),
+        ("Blades per Rack", FrontierSpec::BLADES_PER_RACK),
+        ("Nodes per Rack", FrontierSpec::NODES_PER_RACK),
+        ("SIVOCs per Rack", FrontierSpec::SIVOCS_PER_RACK),
+        ("Switches per Rack", FrontierSpec::SWITCHES_PER_RACK),
+        ("Nodes Total", FrontierSpec::TOTAL_NODES),
+    ] {
+        println!("  {name:<24} {qty:>8}");
+    }
+
+    println!("\n  {:<24} {:>10}", "Component", "Power");
+    for (name, w) in [
+        ("GPU (Idle)", FrontierSpec::GPU_IDLE_W),
+        ("GPU (Max)", FrontierSpec::GPU_MAX_W),
+        ("CPU (Idle)", FrontierSpec::CPU_IDLE_W),
+        ("CPU (Max)", FrontierSpec::CPU_MAX_W),
+        ("RAM (Avg)", FrontierSpec::RAM_AVG_W),
+        ("NVMe (Avg)", FrontierSpec::NVME_EACH_W),
+        ("NIC (Avg)", FrontierSpec::NIC_EACH_W),
+        ("Switch (Avg)", FrontierSpec::SWITCH_AVG_W),
+        ("CDU (Avg)", FrontierSpec::CDU_AVG_W),
+    ] {
+        println!("  {name:<24} {w:>8.0} W");
+    }
+
+    section("Fig. 3 — Rack-level power distribution and voltage conversion");
+    println!("  3-phase AC feed");
+    println!("   └─ 1 rack = 4 shelves");
+    println!("       └─ each shelf = 2 chassis ({} chassis/rack)", FrontierSpec::CHASSIS_PER_RACK);
+    println!(
+        "           └─ each chassis = 4 active rectifiers ({} rectifiers/rack, shared 380 V DC bus)",
+        FrontierSpec::RECTIFIERS_PER_RACK
+    );
+    println!(
+        "               └─ each chassis feeds 8 compute blades ({} blades/rack)",
+        FrontierSpec::BLADES_PER_RACK
+    );
+    println!(
+        "                   └─ each blade = 2 SIVOC 380→48 V converters ({} SIVOCs/rack)",
+        FrontierSpec::SIVOCS_PER_RACK
+    );
+    println!(
+        "                       └─ each blade = 2 nodes ({} nodes/rack)",
+        FrontierSpec::NODES_PER_RACK
+    );
+
+    // Internal consistency of the derived quantities.
+    let cfg = SystemConfig::frontier();
+    println!("\n  derived: {} racks total ({} nodes / {} per rack)",
+        cfg.total_racks(), cfg.total_nodes(), cfg.rack.nodes_per_rack);
+    assert_eq!(cfg.total_racks(), 74);
+    assert_eq!(FrontierSpec::CHASSIS_PER_RACK * 4, FrontierSpec::RECTIFIERS_PER_RACK);
+    assert_eq!(FrontierSpec::CHASSIS_PER_RACK * 8, FrontierSpec::BLADES_PER_RACK);
+    assert_eq!(FrontierSpec::BLADES_PER_RACK * 2, FrontierSpec::NODES_PER_RACK);
+    println!("  consistency checks passed ✓");
+}

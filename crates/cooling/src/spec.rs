@@ -1,0 +1,291 @@
+//! Plant specification — the AutoCSM input format.
+//!
+//! §V of the paper: "an automated cooling system model (AutoCSM) method was
+//! developed that automates much of the process of developing cooling
+//! systems for digital twins. AutoCSM ... inputs a JSON input specification
+//! of the architecture of the system, and outputs an initial model of the
+//! system". [`PlantSpec`] is that JSON schema; [`crate::CoolingModel::new`]
+//! is the generator. Component sizing (pump curves, exchanger UA, tower
+//! cells) is derived from the design heat load exactly the way AutoCSM
+//! derives its initial model from the architecture description.
+
+use serde::{Deserialize, Serialize};
+
+/// Primary- or tower-loop pump group description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PumpGroupSpec {
+    /// Number of pumps installed.
+    pub count: usize,
+    /// Total loop design flow with all pumps running, m³/s.
+    pub total_design_flow_m3s: f64,
+    /// Design head per pump, m.
+    pub design_head_m: f64,
+    /// Pumps running at start-up.
+    pub initial_staged: u32,
+    /// Minimum pumps online.
+    pub min_staged: u32,
+}
+
+/// Cooling-tower bank description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TowerSpec {
+    /// Independent cells (paper: 5 towers × 4 cells = 20).
+    pub cells: usize,
+    /// Fan power output channels exposed in the registry (paper: 16).
+    pub fan_outputs: usize,
+    /// Rated fan power per cell, W.
+    pub fan_power_rated_w: f64,
+    /// Tower basin (cold water) temperature setpoint, °C.
+    pub basin_setpoint_c: f64,
+    /// Cells staged at start-up.
+    pub initial_staged: u32,
+    /// Minimum cells online.
+    pub min_staged: u32,
+}
+
+/// Intermediate heat-exchanger bank (EHX1-5 in Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EhxSpec {
+    /// Number of exchangers installed.
+    pub count: usize,
+    /// Design effectiveness of each exchanger.
+    pub effectiveness: f64,
+}
+
+/// Per-CDU loop description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CduSpec {
+    /// Design secondary (rack-side) flow per CDU, m³/s.
+    pub secondary_design_flow_m3s: f64,
+    /// Design secondary pump head, m.
+    pub secondary_design_head_m: f64,
+    /// Design primary flow share per CDU, m³/s.
+    pub primary_design_flow_m3s: f64,
+    /// Secondary supply temperature setpoint, °C.
+    pub supply_setpoint_c: f64,
+    /// HEX-1600 design effectiveness.
+    pub hex_effectiveness: f64,
+    /// Thermal volume per CDU loop side, kg of coolant.
+    pub loop_volume_kg: f64,
+}
+
+/// Site piping volumes (the transport delays between CEP and data hall).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipingSpec {
+    /// Supply-side pipe volume CEP → data hall, m³.
+    pub supply_volume_m3: f64,
+    /// Return-side pipe volume data hall → CEP, m³.
+    pub return_volume_m3: f64,
+    /// Tower basin volume, m³.
+    pub basin_volume_m3: f64,
+}
+
+/// The full plant specification — the AutoCSM JSON schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlantSpec {
+    /// Plant name.
+    pub name: String,
+    /// Number of CDUs.
+    pub num_cdus: usize,
+    /// Design total heat load, W (sizes exchangers and towers).
+    pub design_heat_w: f64,
+    /// Primary (HTW) pump group.
+    pub primary_pumps: PumpGroupSpec,
+    /// Tower (CTW) pump group.
+    pub tower_pumps: PumpGroupSpec,
+    /// Cooling-tower bank.
+    pub towers: TowerSpec,
+    /// Intermediate exchanger bank.
+    pub ehx: EhxSpec,
+    /// CDU loop parameters.
+    pub cdu: CduSpec,
+    /// Piping and basin volumes.
+    pub piping: PipingSpec,
+    /// Primary supply header pressure setpoint, Pa.
+    pub primary_pressure_setpoint_pa: f64,
+    /// Tower-loop supply header pressure setpoint, Pa.
+    pub tower_pressure_setpoint_pa: f64,
+    /// Internal thermal sub-step, s (the 15 s macro step is subdivided).
+    pub thermal_substep_s: f64,
+}
+
+impl PlantSpec {
+    /// The Frontier plant of Fig. 5: 25 CDUs, HTWP1-4 at 5000-6000 gpm,
+    /// CTWP1-4 at 9000-10000 gpm, EHX1-5, five towers of four cells.
+    pub fn frontier() -> Self {
+        let gpm = |v: f64| v * 3.785_411_784e-3 / 60.0;
+        PlantSpec {
+            name: "frontier-cep".to_string(),
+            num_cdus: 25,
+            design_heat_w: 27.0e6,
+            // The paper quotes "approximately 5000-6000 gpm" per HTWP and
+            // "9000-10000 gpm" per CTWP; energy balance across the CDU
+            // exchangers requires the per-pump reading (see DESIGN.md §5).
+            primary_pumps: PumpGroupSpec {
+                count: 4,
+                total_design_flow_m3s: gpm(4.0 * 5_500.0),
+                design_head_m: 32.0,
+                initial_staged: 2,
+                min_staged: 1,
+            },
+            tower_pumps: PumpGroupSpec {
+                count: 4,
+                total_design_flow_m3s: gpm(4.0 * 9_500.0),
+                design_head_m: 26.0,
+                initial_staged: 2,
+                min_staged: 1,
+            },
+            towers: TowerSpec {
+                cells: 20,
+                fan_outputs: 16,
+                fan_power_rated_w: 11_000.0,
+                basin_setpoint_c: 24.0,
+                initial_staged: 8,
+                min_staged: 2,
+            },
+            ehx: EhxSpec { count: 5, effectiveness: 0.85 },
+            cdu: CduSpec {
+                secondary_design_flow_m3s: 0.033,
+                secondary_design_head_m: 21.0,
+                primary_design_flow_m3s: gpm(4.0 * 5_500.0) / 25.0,
+                supply_setpoint_c: 32.0,
+                hex_effectiveness: 0.80,
+                loop_volume_kg: 600.0,
+            },
+            piping: PipingSpec {
+                supply_volume_m3: 18.0,
+                return_volume_m3: 18.0,
+                basin_volume_m3: 60.0,
+            },
+            primary_pressure_setpoint_pa: 330_000.0,
+            tower_pressure_setpoint_pa: 280_000.0,
+            thermal_substep_s: 5.0,
+        }
+    }
+
+    /// A Setonix-like plant (§V): smaller machine, 8 CDUs, ~4 MW.
+    pub fn setonix_like() -> Self {
+        let mut s = PlantSpec::frontier();
+        s.name = "setonix-like-cep".to_string();
+        s.num_cdus = 8;
+        s.design_heat_w = 4.2e6;
+        s.primary_pumps.total_design_flow_m3s *= 0.18;
+        s.tower_pumps.total_design_flow_m3s *= 0.18;
+        s.towers.cells = 8;
+        s.towers.fan_outputs = 8;
+        s.towers.initial_staged = 3;
+        s.ehx.count = 2;
+        s.cdu.primary_design_flow_m3s = s.primary_pumps.total_design_flow_m3s / 8.0;
+        s.piping.supply_volume_m3 = 6.0;
+        s.piping.return_volume_m3 = 6.0;
+        s.piping.basin_volume_m3 = 15.0;
+        s
+    }
+
+    /// A Marconi100-like plant (§V): ~2 MW, 5 CDUs.
+    pub fn marconi100_like() -> Self {
+        let mut s = PlantSpec::setonix_like();
+        s.name = "marconi100-like-cep".to_string();
+        s.num_cdus = 5;
+        s.design_heat_w = 2.2e6;
+        s.towers.cells = 6;
+        s.towers.fan_outputs = 6;
+        s.cdu.primary_design_flow_m3s = s.primary_pumps.total_design_flow_m3s / 5.0;
+        s
+    }
+
+    /// Design heat per CDU, W.
+    pub fn heat_per_cdu_w(&self) -> f64 {
+        self.design_heat_w / self.num_cdus as f64
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serialises")
+    }
+
+    /// Parse from JSON (the AutoCSM entry point).
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Sanity-check the spec before model generation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_cdus == 0 {
+            return Err("num_cdus must be positive".into());
+        }
+        if self.design_heat_w <= 0.0 {
+            return Err("design_heat_w must be positive".into());
+        }
+        if self.towers.cells == 0 || self.towers.fan_outputs > self.towers.cells {
+            return Err("tower cells/fan_outputs inconsistent".into());
+        }
+        if self.primary_pumps.count == 0 || self.tower_pumps.count == 0 {
+            return Err("pump groups need at least one pump".into());
+        }
+        if !(0.0..1.0).contains(&self.ehx.effectiveness)
+            || !(0.0..1.0).contains(&self.cdu.hex_effectiveness)
+        {
+            return Err("effectiveness must be in (0,1)".into());
+        }
+        if self.thermal_substep_s <= 0.0 {
+            return Err("thermal_substep_s must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_spec_matches_paper_figures() {
+        let s = PlantSpec::frontier();
+        assert_eq!(s.num_cdus, 25);
+        assert_eq!(s.primary_pumps.count, 4); // HTWP1-4
+        assert_eq!(s.tower_pumps.count, 4); // CTWP1-4
+        assert_eq!(s.ehx.count, 5); // EHX1-5
+        assert_eq!(s.towers.cells, 20); // 5 towers × 4 cells
+        assert_eq!(s.towers.fan_outputs, 16); // paper: 16 CT fan channels
+        // 5000-6000 gpm per HTWP, 9000-10000 gpm per CTWP.
+        let gpm = |q: f64| q * 60.0 / 3.785_411_784e-3;
+        let per_htwp = gpm(s.primary_pumps.total_design_flow_m3s) / 4.0;
+        let per_ctwp = gpm(s.tower_pumps.total_design_flow_m3s) / 4.0;
+        assert!((5_000.0..6_000.0).contains(&per_htwp), "{per_htwp}");
+        assert!((9_000.0..10_000.0).contains(&per_ctwp), "{per_ctwp}");
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = PlantSpec::frontier();
+        let back = PlantSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn alternative_specs_validate() {
+        PlantSpec::setonix_like().validate().unwrap();
+        PlantSpec::marconi100_like().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_nonsense() {
+        let mut s = PlantSpec::frontier();
+        s.num_cdus = 0;
+        assert!(s.validate().is_err());
+        let mut s = PlantSpec::frontier();
+        s.towers.fan_outputs = 99;
+        assert!(s.validate().is_err());
+        let mut s = PlantSpec::frontier();
+        s.ehx.effectiveness = 1.5;
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn heat_per_cdu() {
+        let s = PlantSpec::frontier();
+        assert!((s.heat_per_cdu_w() - 1.08e6).abs() < 1e4);
+    }
+}

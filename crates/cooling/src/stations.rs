@@ -1,0 +1,91 @@
+//! The Fig. 5 station registry.
+//!
+//! The paper's cooling schematic enumerates the locations where the model
+//! predicts pressures, temperatures and flow rates. This module gives each
+//! numbered station a name and maps it onto the model's output variables,
+//! so validation plots (Fig. 7 references stations 10, 12) can be built by
+//! station id.
+
+use serde::{Deserialize, Serialize};
+
+/// One measurement station of the Fig. 5 schematic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Station {
+    /// Station number as printed in Fig. 5.
+    pub id: u8,
+    /// Location description.
+    pub name: &'static str,
+    /// Loop the station belongs to.
+    pub loop_name: &'static str,
+    /// Output-variable prefix(es) carrying this station's quantities.
+    pub outputs: &'static str,
+}
+
+/// The Frontier station table (Fig. 5: enumerated locations 1-15).
+pub const STATIONS: &[Station] = &[
+    Station { id: 1, name: "Cooling tower cells", loop_name: "tower", outputs: "ct_fan[*].power, ct.num_cells_staged" },
+    Station { id: 2, name: "Tower basin / cold header", loop_name: "tower", outputs: "facility.ctw_flow" },
+    Station { id: 3, name: "CTWP suction header", loop_name: "tower", outputs: "ctwp[*].speed" },
+    Station { id: 4, name: "CTWP discharge (CT supply header)", loop_name: "tower", outputs: "ctwp[*].power" },
+    Station { id: 5, name: "EHX cold-side inlet", loop_name: "tower", outputs: "facility.ctw_flow" },
+    Station { id: 6, name: "EHX cold-side outlet (to towers)", loop_name: "tower", outputs: "primary.num_ehx_staged" },
+    Station { id: 7, name: "EHX hot-side inlet (HTW return)", loop_name: "primary", outputs: "facility.htw_return_temp" },
+    Station { id: 8, name: "EHX hot-side outlet", loop_name: "primary", outputs: "facility.htw_supply_temp" },
+    Station { id: 9, name: "HTWP suction header", loop_name: "primary", outputs: "htwp[*].speed" },
+    Station { id: 10, name: "HTW supply header (to data hall)", loop_name: "primary", outputs: "facility.htw_supply_pressure, facility.htw_supply_temp" },
+    Station { id: 11, name: "Data-hall supply manifold", loop_name: "primary", outputs: "facility.htw_flow" },
+    Station { id: 12, name: "CDU primary inlet", loop_name: "cdu", outputs: "cdu[*].primary_flow, cdu[*].primary_supply_temp, cdu[*].primary_supply_pressure" },
+    Station { id: 13, name: "CDU primary outlet", loop_name: "cdu", outputs: "cdu[*].primary_return_temp, cdu[*].primary_return_pressure" },
+    Station { id: 14, name: "CDU secondary supply (to racks)", loop_name: "cdu", outputs: "cdu[*].secondary_flow, cdu[*].secondary_supply_temp, cdu[*].pump_power" },
+    Station { id: 15, name: "CDU secondary return (from racks)", loop_name: "cdu", outputs: "cdu[*].secondary_return_temp, cdu[*].secondary_return_pressure" },
+];
+
+/// Look up a station by its Fig. 5 number.
+pub fn station(id: u8) -> Option<&'static Station> {
+    STATIONS.iter().find(|s| s.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_stations_enumerated() {
+        assert_eq!(STATIONS.len(), 15);
+        for (i, s) in STATIONS.iter().enumerate() {
+            assert_eq!(s.id as usize, i + 1);
+        }
+    }
+
+    #[test]
+    fn fig7_stations_present() {
+        // Fig. 7 validates stations 10 (HTW supply pressure) and 12 (CDU
+        // primary flow/return temperature).
+        let s10 = station(10).unwrap();
+        assert!(s10.outputs.contains("htw_supply_pressure"));
+        let s12 = station(12).unwrap();
+        assert!(s12.outputs.contains("primary_flow"));
+    }
+
+    #[test]
+    fn unknown_station_is_none() {
+        assert!(station(99).is_none());
+    }
+
+    #[test]
+    fn station_outputs_reference_real_variables() {
+        // Every referenced prefix must resolve against the Frontier model.
+        let model = crate::CoolingModel::frontier();
+        use exadigit_sim::fmi::CoSimModel;
+        for s in STATIONS {
+            for part in s.outputs.split(", ") {
+                let probe = part.replace("[*]", "[1]");
+                assert!(
+                    model.var_by_name(&probe).is_some(),
+                    "station {} references unknown output {probe}",
+                    s.id
+                );
+            }
+        }
+    }
+}

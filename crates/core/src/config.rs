@@ -1,0 +1,137 @@
+//! Whole-twin configuration.
+//!
+//! §V of the paper: "the generalized version of RAPS inputs configuration
+//! files describing the system architecture, the cooling system, the
+//! scheduler, and the power system" — [`TwinConfig`] is that file: the
+//! RAPS [`SystemConfig`], the AutoCSM [`PlantSpec`], the scheduling
+//! policy and the power-delivery variant, all JSON-serialisable.
+
+use exadigit_cooling::PlantSpec;
+use exadigit_raps::config::SystemConfig;
+use exadigit_raps::power::PowerDelivery;
+use exadigit_raps::scheduler::Policy;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a complete digital twin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TwinConfig {
+    /// System architecture + power system (Table I schema).
+    pub system: SystemConfig,
+    /// Cooling-plant specification (AutoCSM schema, Fig. 5 for Frontier).
+    pub plant: PlantSpec,
+    /// Scheduling policy.
+    pub policy: Policy,
+    /// Power-delivery variant.
+    pub delivery: PowerDelivery,
+    /// Whether the cooling model is attached (the paper replays run
+    /// "about nine minutes ... with cooling, or just three without").
+    pub with_cooling: bool,
+    /// Output recording cadence, seconds.
+    pub record_every_s: u64,
+}
+
+impl TwinConfig {
+    /// The Frontier twin of the paper.
+    pub fn frontier() -> Self {
+        TwinConfig {
+            system: SystemConfig::frontier(),
+            plant: PlantSpec::frontier(),
+            policy: Policy::FirstFit,
+            delivery: PowerDelivery::StandardAC,
+            with_cooling: true,
+            record_every_s: 15,
+        }
+    }
+
+    /// Frontier without the cooling model (fast replays).
+    pub fn frontier_power_only() -> Self {
+        TwinConfig { with_cooling: false, ..TwinConfig::frontier() }
+    }
+
+    /// A Setonix-like multi-partition twin (§V).
+    pub fn setonix_like() -> Self {
+        TwinConfig {
+            system: SystemConfig::setonix_like(),
+            plant: PlantSpec::setonix_like(),
+            policy: Policy::FirstFit,
+            delivery: PowerDelivery::StandardAC,
+            with_cooling: true,
+            record_every_s: 15,
+        }
+    }
+
+    /// A Marconi100-like twin (§V / PM100).
+    pub fn marconi100_like() -> Self {
+        TwinConfig {
+            system: SystemConfig::marconi100_like(),
+            plant: PlantSpec::marconi100_like(),
+            policy: Policy::FirstFit,
+            delivery: PowerDelivery::StandardAC,
+            with_cooling: true,
+            record_every_s: 15,
+        }
+    }
+
+    /// Serialise to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serialises")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Cross-validate the pieces: CDU counts must agree between the power
+    /// system and the cooling plant.
+    pub fn validate(&self) -> Result<(), String> {
+        self.plant.validate()?;
+        if self.with_cooling && self.system.cooling.num_cdus != self.plant.num_cdus {
+            return Err(format!(
+                "system has {} CDUs but the plant models {}",
+                self.system.cooling.num_cdus, self.plant.num_cdus
+            ));
+        }
+        if self.record_every_s == 0 {
+            return Err("record_every_s must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        TwinConfig::frontier().validate().unwrap();
+        TwinConfig::frontier_power_only().validate().unwrap();
+        TwinConfig::setonix_like().validate().unwrap();
+        TwinConfig::marconi100_like().validate().unwrap();
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let cfg = TwinConfig::frontier();
+        let back = TwinConfig::from_json(&cfg.to_json()).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn cdu_mismatch_detected() {
+        let mut cfg = TwinConfig::frontier();
+        cfg.system.cooling.num_cdus = 7;
+        assert!(cfg.validate().is_err());
+        // Without cooling the mismatch is irrelevant.
+        cfg.with_cooling = false;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_cadence_rejected() {
+        let mut cfg = TwinConfig::frontier();
+        cfg.record_every_s = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

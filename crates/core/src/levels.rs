@@ -1,0 +1,117 @@
+//! Digital-twin maturity levels (Fig. 2 of the paper).
+//!
+//! The paper classifies each module against the five-level taxonomy of
+//! [36] (Autodesk): descriptive, informative, predictive, comprehensive,
+//! autonomous, and positions itself at L1 (visualization), L2 (telemetry
+//! validation) and L4 (modeling & simulation), with L3/L5 as future work.
+
+use serde::{Deserialize, Serialize};
+
+/// The five digital-twin levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TwinLevel {
+    /// L1 — models the physical assets (CAD/game engines; here: the
+    /// scene graph of `exadigit_viz::scene`).
+    Descriptive,
+    /// L2 — incorporates telemetry for real-time insight (here: the
+    /// synthetic-twin replay of `exadigit_telemetry`).
+    Informative,
+    /// L3 — data-driven AI/ML predictive models (paper: future work).
+    Predictive,
+    /// L4 — modeling & simulation for what-if scenarios (here: RAPS and
+    /// the cooling plant).
+    Comprehensive,
+    /// L5 — autonomous control via e.g. reinforcement learning (paper:
+    /// future work).
+    Autonomous,
+}
+
+impl TwinLevel {
+    /// All levels in ascending maturity.
+    pub const ALL: [TwinLevel; 5] = [
+        TwinLevel::Descriptive,
+        TwinLevel::Informative,
+        TwinLevel::Predictive,
+        TwinLevel::Comprehensive,
+        TwinLevel::Autonomous,
+    ];
+
+    /// Level index as used in the paper (L1..L5).
+    pub fn index(&self) -> u8 {
+        match self {
+            TwinLevel::Descriptive => 1,
+            TwinLevel::Informative => 2,
+            TwinLevel::Predictive => 3,
+            TwinLevel::Comprehensive => 4,
+            TwinLevel::Autonomous => 5,
+        }
+    }
+
+    /// One-line description from §III of the paper.
+    pub fn description(&self) -> &'static str {
+        match self {
+            TwinLevel::Descriptive => {
+                "models the physical assets using CAD models and game engines"
+            }
+            TwinLevel::Informative => {
+                "incorporates telemetry data for real-time insights into the physical twin"
+            }
+            TwinLevel::Predictive => {
+                "utilizes telemetry data to develop data-driven AI/ML predictive models"
+            }
+            TwinLevel::Comprehensive => {
+                "leverages modeling and simulation for virtual prototyping and what-if scenarios"
+            }
+            TwinLevel::Autonomous => {
+                "learns to make autonomous decisions for system optimization"
+            }
+        }
+    }
+
+    /// Whether this reproduction implements the level (the paper covers
+    /// L1, L2 and L4; L3/L5 are future work there and here).
+    pub fn implemented(&self) -> bool {
+        matches!(
+            self,
+            TwinLevel::Descriptive | TwinLevel::Informative | TwinLevel::Comprehensive
+        )
+    }
+}
+
+impl std::fmt::Display for TwinLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "L{} ({:?})", self.index(), self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_one_through_five() {
+        let idx: Vec<u8> = TwinLevel::ALL.iter().map(|l| l.index()).collect();
+        assert_eq!(idx, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn paper_coverage_pattern() {
+        // Paper: "This paper covers using L1 for visualization, L2 for
+        // validation, and L4 for modeling and simulation."
+        assert!(TwinLevel::Descriptive.implemented());
+        assert!(TwinLevel::Informative.implemented());
+        assert!(!TwinLevel::Predictive.implemented());
+        assert!(TwinLevel::Comprehensive.implemented());
+        assert!(!TwinLevel::Autonomous.implemented());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", TwinLevel::Comprehensive), "L4 (Comprehensive)");
+    }
+
+    #[test]
+    fn levels_ordered_by_maturity() {
+        assert!(TwinLevel::Descriptive < TwinLevel::Autonomous);
+    }
+}

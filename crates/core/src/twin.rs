@@ -1,0 +1,174 @@
+//! The digital twin façade.
+//!
+//! [`DigitalTwin`] assembles the three modules of Fig. 1: RAPS drives the
+//! 1 s tick loop, the cooling model is generated from the plant spec
+//! (AutoCSM) and attached across the FMI-lite boundary at the 15 s
+//! cadence, and the scene graph provides the L1 representation. This is
+//! the type examples and what-if studies interact with.
+
+use crate::config::TwinConfig;
+use exadigit_cooling::CoolingModel;
+use exadigit_raps::job::Job;
+use exadigit_raps::power::PowerSnapshot;
+use exadigit_raps::simulation::{CoolingCoupling, RapsSimulation, SimOutputs};
+use exadigit_raps::stats::RunReport;
+use exadigit_sim::fmi::FmiError;
+use exadigit_sim::TimeSeries;
+use exadigit_viz::SceneGraph;
+
+/// A fully assembled digital twin.
+pub struct DigitalTwin {
+    /// The generating configuration.
+    pub config: TwinConfig,
+    sim: RapsSimulation,
+}
+
+impl DigitalTwin {
+    /// Build the twin from a configuration (validates first).
+    pub fn new(config: TwinConfig) -> Result<Self, String> {
+        config.validate()?;
+        let mut sim = RapsSimulation::new(
+            config.system.clone(),
+            config.delivery,
+            config.policy,
+            config.record_every_s,
+        );
+        if config.with_cooling {
+            let model = CoolingModel::new(config.plant.clone())?;
+            let coupling = CoolingCoupling::attach(Box::new(model), config.system.cooling.num_cdus)
+                .map_err(|e| format!("cooling coupling failed: {e}"))?;
+            sim.attach_cooling(coupling);
+        }
+        Ok(DigitalTwin { config, sim })
+    }
+
+    /// Submit jobs (synthetic, benchmark, or telemetry-derived).
+    pub fn submit(&mut self, jobs: Vec<Job>) {
+        self.sim.submit_jobs(jobs);
+    }
+
+    /// Provide the wet-bulb forcing for the cooling model.
+    pub fn set_wet_bulb(&mut self, series: TimeSeries) {
+        self.sim.set_wet_bulb(series);
+    }
+
+    /// Advance the twin by `seconds` of simulated time.
+    pub fn run(&mut self, seconds: u64) -> Result<(), FmiError> {
+        let target = self.sim.now() + seconds;
+        self.sim.run_until(target)
+    }
+
+    /// Advance a single second (Algorithm 1 `TICK`).
+    pub fn tick(&mut self) -> Result<(), FmiError> {
+        self.sim.tick()
+    }
+
+    /// Current simulated time, seconds.
+    pub fn now(&self) -> u64 {
+        self.sim.now()
+    }
+
+    /// Latest power snapshot.
+    pub fn snapshot(&self) -> &PowerSnapshot {
+        self.sim.snapshot()
+    }
+
+    /// Recorded output series.
+    pub fn outputs(&self) -> &SimOutputs {
+        self.sim.outputs()
+    }
+
+    /// Node-allocation utilization.
+    pub fn utilization(&self) -> f64 {
+        self.sim.utilization()
+    }
+
+    /// Jobs currently running / waiting.
+    pub fn queue_state(&self) -> (usize, usize) {
+        (self.sim.running_count(), self.sim.pending_count())
+    }
+
+    /// Read a cooling-model output by name (None without cooling or for
+    /// unknown names).
+    pub fn cooling_output(&self, name: &str) -> Option<f64> {
+        let model = self.sim.cooling_model()?;
+        let vr = model.var_by_name(name)?.vr;
+        model.get_real(vr).ok()
+    }
+
+    /// The §III-B5 run report.
+    pub fn report(&self) -> RunReport {
+        self.sim.report()
+    }
+
+    /// The L1 scene graph for this system (Frontier layout; generated
+    /// scenes for other systems are future work, as in the paper).
+    pub fn scene(&self) -> SceneGraph {
+        SceneGraph::frontier()
+    }
+
+    /// Mutable access to the underlying RAPS simulation (advanced use).
+    pub fn raps_mut(&mut self) -> &mut RapsSimulation {
+        &mut self.sim
+    }
+
+    /// Immutable access to the underlying RAPS simulation.
+    pub fn raps(&self) -> &RapsSimulation {
+        &self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exadigit_raps::job::Job;
+
+    #[test]
+    fn twin_without_cooling_runs() {
+        let mut twin = DigitalTwin::new(TwinConfig::frontier_power_only()).unwrap();
+        twin.submit(vec![Job::new(1, "j", 256, 120, 5, 0.6, 0.8)]);
+        twin.run(300).unwrap();
+        let r = twin.report();
+        assert_eq!(r.jobs_completed, 1);
+        assert!(r.avg_power_mw > 7.0);
+        assert!(twin.cooling_output("pue").is_none());
+    }
+
+    #[test]
+    fn twin_with_cooling_reports_pue() {
+        let mut twin = DigitalTwin::new(TwinConfig::frontier()).unwrap();
+        twin.submit(vec![Job::new(1, "load", 4096, 1800, 1, 0.8, 0.9)]);
+        twin.run(1800).unwrap();
+        let pue = twin.cooling_output("pue").expect("cooling attached");
+        assert!((1.0..1.3).contains(&pue), "pue={pue}");
+        let r = twin.report();
+        assert!(r.avg_pue.is_some());
+        // Cooling outputs are live: supply temperature in a sane band.
+        let t = twin.cooling_output("cdu[1].secondary_supply_temp").unwrap();
+        assert!((20.0..45.0).contains(&t), "t={t}");
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = TwinConfig::frontier();
+        cfg.system.cooling.num_cdus = 3;
+        assert!(DigitalTwin::new(cfg).is_err());
+    }
+
+    #[test]
+    fn scene_available() {
+        let twin = DigitalTwin::new(TwinConfig::frontier_power_only()).unwrap();
+        assert!(twin.scene().node_count() > 100);
+    }
+
+    #[test]
+    fn queue_state_reflects_submission() {
+        let mut twin = DigitalTwin::new(TwinConfig::frontier_power_only()).unwrap();
+        twin.submit(vec![
+            Job::new(1, "all", 9472, 600, 1, 0.5, 0.5),
+            Job::new(2, "wait", 128, 60, 2, 0.5, 0.5),
+        ]);
+        twin.run(30).unwrap();
+        assert_eq!(twin.queue_state(), (1, 1));
+    }
+}

@@ -1,0 +1,503 @@
+//! What-if studies — §IV-3 of the paper and the §III-A use-case list.
+//!
+//! "Now we can begin to envision ways to improve overall efficiency
+//! through virtual modifications to Frontier's DT": the paper tests smart
+//! load-sharing rectifiers (+0.1 % efficiency ≈ $120k/yr) and direct
+//! 380 V DC distribution (93.3 % → 97.3 %, ≈ $542k/yr, −8.2 % CO₂). This
+//! module reproduces those two studies plus three §III-A use cases:
+//! virtually extending the cooling plant for a future secondary system,
+//! CDU blockage injection/detection (water quality), and thermal-throttle
+//! prediction.
+
+use exadigit_cooling::{CoolingModel, PlantSpec};
+use exadigit_raps::config::SystemConfig;
+use exadigit_raps::job::Job;
+use exadigit_raps::power::PowerDelivery;
+use exadigit_raps::scheduler::Policy;
+use exadigit_raps::simulation::RapsSimulation;
+use exadigit_raps::stats::RunReport;
+use exadigit_sim::fmi::CoSimModel;
+use exadigit_thermo::coldplate::ColdPlate;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------
+// Power-delivery study (smart rectifiers, 380 V DC)
+// ---------------------------------------------------------------------
+
+/// Outcome of one power-delivery variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeliveryOutcome {
+    /// The variant simulated.
+    pub delivery: PowerDelivery,
+    /// Its run report.
+    pub report: RunReport,
+}
+
+/// Results of replaying one workload under all three delivery variants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerDeliveryStudy {
+    /// Outcomes in `[StandardAC, SmartRectifiers, Direct380Vdc]` order.
+    pub outcomes: Vec<DeliveryOutcome>,
+}
+
+impl PowerDeliveryStudy {
+    /// Replay `jobs` for `horizon_s` under each variant (rayon-parallel,
+    /// power-only — conversion losses do not feed back into cooling).
+    pub fn run(system: &SystemConfig, jobs: &[Job], horizon_s: u64, policy: Policy) -> Self {
+        let variants = [
+            PowerDelivery::StandardAC,
+            PowerDelivery::SmartRectifiers,
+            PowerDelivery::Direct380Vdc,
+        ];
+        let outcomes: Vec<DeliveryOutcome> = variants
+            .into_par_iter()
+            .map(|delivery| {
+                let mut sim = RapsSimulation::new(system.clone(), delivery, policy, 60);
+                sim.submit_jobs(jobs.to_vec());
+                sim.run_until(horizon_s).expect("power-only run cannot fail");
+                DeliveryOutcome { delivery, report: sim.report() }
+            })
+            .collect();
+        PowerDeliveryStudy { outcomes }
+    }
+
+    /// The baseline (standard AC) outcome.
+    pub fn baseline(&self) -> &DeliveryOutcome {
+        &self.outcomes[0]
+    }
+
+    /// Outcome for a variant.
+    pub fn outcome(&self, delivery: PowerDelivery) -> &DeliveryOutcome {
+        self.outcomes.iter().find(|o| o.delivery == delivery).expect("all variants present")
+    }
+
+    /// Yearly energy-cost savings of a variant vs the baseline, USD —
+    /// the Δloss energy valued at the configured tariff.
+    pub fn yearly_savings_usd(&self, delivery: PowerDelivery, system: &SystemConfig) -> f64 {
+        let base = &self.baseline().report;
+        let var = &self.outcome(delivery).report;
+        let delta_mw = base.avg_loss_mw - var.avg_loss_mw;
+        let yearly_mwh = delta_mw * 8_766.0;
+        RunReport::cost_for(&system.costs, yearly_mwh)
+    }
+
+    /// Relative CO₂ change of a variant vs the baseline, percent
+    /// (negative = reduction). Per eq. (6) emissions scale with consumed
+    /// energy *and* 1/η.
+    pub fn carbon_delta_percent(&self, delivery: PowerDelivery) -> f64 {
+        let base = &self.baseline().report;
+        let var = &self.outcome(delivery).report;
+        100.0 * (var.co2_tons - base.co2_tons) / base.co2_tons
+    }
+
+    /// Efficiency gain of a variant vs the baseline, percentage points.
+    pub fn efficiency_gain_points(&self, delivery: PowerDelivery) -> f64 {
+        100.0 * (self.outcome(delivery).report.efficiency - self.baseline().report.efficiency)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cooling-extension study (virtual prototyping)
+// ---------------------------------------------------------------------
+
+/// Plant condition summary for the extension study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlantCondition {
+    /// HTW supply temperature at the hall, °C.
+    pub htws_temp_c: f64,
+    /// PUE.
+    pub pue: f64,
+    /// Tower cells staged.
+    pub cells_staged: f64,
+    /// Auxiliary cooling power (HTWP+CTWP+fans+CDU pumps), W.
+    pub cooling_power_w: f64,
+}
+
+/// Virtual prototyping: impact of attaching a future secondary system's
+/// heat load onto the existing CEP (§III-A use case).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoolingExtensionStudy {
+    /// Current-system condition.
+    pub baseline: PlantCondition,
+    /// Condition with the extension load attached.
+    pub extended: PlantCondition,
+    /// Extension load, W.
+    pub extension_w: f64,
+}
+
+impl CoolingExtensionStudy {
+    /// Settle the plant at `base_load_fraction` of design heat, then with
+    /// `extension_mw` of additional load spread across the CDUs, and
+    /// compare the steady conditions at the given wet-bulb.
+    pub fn run(
+        spec: &PlantSpec,
+        base_load_fraction: f64,
+        extension_mw: f64,
+        wet_bulb_c: f64,
+    ) -> Result<Self, String> {
+        let settle = |extra_w: f64| -> Result<PlantCondition, String> {
+            let mut model = CoolingModel::new(spec.clone())?;
+            model.setup(0.0);
+            let heat =
+                spec.heat_per_cdu_w() * base_load_fraction + extra_w / spec.num_cdus as f64;
+            let it_power = heat * spec.num_cdus as f64 / 0.945;
+            for i in 0..spec.num_cdus {
+                model
+                    .set_real(exadigit_sim::fmi::VarRef(i as u32), heat)
+                    .map_err(|e| e.to_string())?;
+            }
+            let wb_vr = model.var_by_name("wet_bulb").expect("registry").vr;
+            model.set_real(wb_vr, wet_bulb_c).map_err(|e| e.to_string())?;
+            let it_vr = model.var_by_name("it_power").expect("registry").vr;
+            model.set_real(it_vr, it_power).map_err(|e| e.to_string())?;
+            for k in 0..600 {
+                model.do_step(k as f64 * 15.0, 15.0).map_err(|e| e.to_string())?;
+            }
+            Ok(PlantCondition {
+                htws_temp_c: model.output_by_name("facility.htw_supply_temp").unwrap(),
+                pue: model.output_by_name("pue").unwrap(),
+                cells_staged: model.output_by_name("ct.num_cells_staged").unwrap(),
+                cooling_power_w: model.output_by_name("cooling_power").unwrap(),
+            })
+        };
+        Ok(CoolingExtensionStudy {
+            baseline: settle(0.0)?,
+            extended: settle(extension_mw * 1e6)?,
+            extension_w: extension_mw * 1e6,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// CDU blockage injection & detection (water quality)
+// ---------------------------------------------------------------------
+
+/// Result of a blockage-detection pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockageReport {
+    /// Per-CDU secondary flows observed, m³/s.
+    pub flows_m3s: Vec<f64>,
+    /// CDUs flagged as blocked (0-based).
+    pub flagged: Vec<usize>,
+    /// Detection threshold used (fraction of the median flow).
+    pub threshold: f64,
+}
+
+/// Flag CDUs whose secondary flow falls below `threshold` × median —
+/// the detection predicate for "can these types of blockages be
+/// detected?" (§III-A).
+pub fn detect_blockages(flows: &[f64], threshold: f64) -> BlockageReport {
+    let mut sorted = flows.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("flows are finite"));
+    let median = sorted[sorted.len() / 2];
+    let flagged = flows
+        .iter()
+        .enumerate()
+        .filter(|(_, &q)| q < threshold * median)
+        .map(|(i, _)| i)
+        .collect();
+    BlockageReport { flows_m3s: flows.to_vec(), flagged, threshold }
+}
+
+/// Inject blockages into the given CDUs of a settled plant and verify the
+/// detector finds exactly them. Returns the detection report.
+pub fn blockage_experiment(
+    spec: &PlantSpec,
+    blocked_cdus: &[usize],
+    blockage_factor: f64,
+    load_fraction: f64,
+) -> Result<BlockageReport, String> {
+    let mut model = CoolingModel::new(spec.clone())?;
+    model.setup(0.0);
+    let heat = spec.heat_per_cdu_w() * load_fraction;
+    for i in 0..spec.num_cdus {
+        model
+            .set_real(exadigit_sim::fmi::VarRef(i as u32), heat)
+            .map_err(|e| e.to_string())?;
+    }
+    for &cdu in blocked_cdus {
+        let vr = model
+            .var_by_name(&format!("cdu_blockage[{}]", cdu + 1))
+            .ok_or("unknown CDU")?
+            .vr;
+        model.set_real(vr, blockage_factor).map_err(|e| e.to_string())?;
+    }
+    for k in 0..200 {
+        model.do_step(k as f64 * 15.0, 15.0).map_err(|e| e.to_string())?;
+    }
+    let flows: Vec<f64> = (1..=spec.num_cdus)
+        .map(|i| model.output_by_name(&format!("cdu[{i}].secondary_flow")).unwrap())
+        .collect();
+    Ok(detect_blockages(&flows, 0.85))
+}
+
+// ---------------------------------------------------------------------
+// Setpoint optimization (L5 precursor)
+// ---------------------------------------------------------------------
+
+/// One evaluated setpoint candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SetpointCandidate {
+    /// Tower basin temperature setpoint, °C.
+    pub basin_setpoint_c: f64,
+    /// Resulting PUE.
+    pub pue: f64,
+    /// Resulting cooling auxiliary power, W.
+    pub cooling_power_w: f64,
+    /// HTW supply temperature reaching the hall, °C.
+    pub htws_temp_c: f64,
+}
+
+/// Result of a basin-setpoint sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SetpointSweep {
+    /// All candidates in sweep order.
+    pub candidates: Vec<SetpointCandidate>,
+    /// Index of the PUE-minimising candidate.
+    pub best: usize,
+}
+
+/// Sweep the tower basin setpoint and pick the PUE optimum — the
+/// grid-search precursor of the paper's L5 use case ("automated setpoint
+/// control for improved cooling efficiency"). Runs candidates in
+/// parallel.
+pub fn setpoint_sweep(
+    spec: &PlantSpec,
+    setpoints_c: &[f64],
+    load_fraction: f64,
+    wet_bulb_c: f64,
+) -> Result<SetpointSweep, String> {
+    let candidates: Vec<SetpointCandidate> = setpoints_c
+        .par_iter()
+        .map(|&sp| {
+            let mut candidate_spec = spec.clone();
+            candidate_spec.towers.basin_setpoint_c = sp;
+            let mut model = CoolingModel::new(candidate_spec)?;
+            model.setup(0.0);
+            let heat = spec.heat_per_cdu_w() * load_fraction;
+            for i in 0..spec.num_cdus {
+                model
+                    .set_real(exadigit_sim::fmi::VarRef(i as u32), heat)
+                    .map_err(|e| e.to_string())?;
+            }
+            let wb_vr = model.var_by_name("wet_bulb").expect("registry").vr;
+            model.set_real(wb_vr, wet_bulb_c).map_err(|e| e.to_string())?;
+            let it_vr = model.var_by_name("it_power").expect("registry").vr;
+            model
+                .set_real(it_vr, heat * spec.num_cdus as f64 / 0.945)
+                .map_err(|e| e.to_string())?;
+            for k in 0..400 {
+                model.do_step(k as f64 * 15.0, 15.0).map_err(|e| e.to_string())?;
+            }
+            Ok(SetpointCandidate {
+                basin_setpoint_c: sp,
+                pue: model.output_by_name("pue").expect("output"),
+                cooling_power_w: model.output_by_name("cooling_power").expect("output"),
+                htws_temp_c: model.output_by_name("facility.htw_supply_temp").expect("output"),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let best = candidates
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.pue.partial_cmp(&b.1.pue).expect("finite PUE"))
+        .map(|(i, _)| i)
+        .ok_or("empty sweep")?;
+    Ok(SetpointSweep { candidates, best })
+}
+
+// ---------------------------------------------------------------------
+// Weather-correlation study
+// ---------------------------------------------------------------------
+
+/// One point of the weather sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeatherPoint {
+    /// Wet-bulb temperature, °C.
+    pub wet_bulb_c: f64,
+    /// CDU secondary supply temperature (what the GPUs see), °C.
+    pub secondary_supply_c: f64,
+    /// PUE.
+    pub pue: f64,
+    /// Tower fan + pump auxiliary power, W.
+    pub cooling_power_w: f64,
+}
+
+/// Sweep the wet-bulb temperature at constant load — "understanding how
+/// weather correlates to GPU temperatures on the system" (§III-A).
+pub fn weather_sweep(
+    spec: &PlantSpec,
+    wet_bulbs_c: &[f64],
+    load_fraction: f64,
+) -> Result<Vec<WeatherPoint>, String> {
+    wet_bulbs_c
+        .par_iter()
+        .map(|&wb| {
+            let mut model = CoolingModel::new(spec.clone())?;
+            model.setup(0.0);
+            let heat = spec.heat_per_cdu_w() * load_fraction;
+            for i in 0..spec.num_cdus {
+                model
+                    .set_real(exadigit_sim::fmi::VarRef(i as u32), heat)
+                    .map_err(|e| e.to_string())?;
+            }
+            let wb_vr = model.var_by_name("wet_bulb").expect("registry").vr;
+            model.set_real(wb_vr, wb).map_err(|e| e.to_string())?;
+            let it_vr = model.var_by_name("it_power").expect("registry").vr;
+            model
+                .set_real(it_vr, heat * spec.num_cdus as f64 / 0.945)
+                .map_err(|e| e.to_string())?;
+            for k in 0..400 {
+                model.do_step(k as f64 * 15.0, 15.0).map_err(|e| e.to_string())?;
+            }
+            Ok(WeatherPoint {
+                wet_bulb_c: wb,
+                secondary_supply_c: model
+                    .output_by_name("cdu[1].secondary_supply_temp")
+                    .expect("output"),
+                pue: model.output_by_name("pue").expect("output"),
+                cooling_power_w: model.output_by_name("cooling_power").expect("output"),
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Thermal-throttle scan
+// ---------------------------------------------------------------------
+
+/// One cell of the throttle-risk scan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThrottleCell {
+    /// GPU power, W.
+    pub gpu_power_w: f64,
+    /// Coolant supply temperature, °C.
+    pub coolant_temp_c: f64,
+    /// Fraction of design coolant flow reaching the cold plate.
+    pub flow_fraction: f64,
+    /// Predicted junction temperature, °C.
+    pub junction_c: f64,
+    /// Whether the junction exceeds the throttle limit.
+    pub throttles: bool,
+}
+
+/// Scan GPU power × flow-fraction combinations at a given coolant supply
+/// temperature — "early detection of thermal throttling" (§III-A).
+pub fn thermal_throttle_scan(
+    coolant_temp_c: f64,
+    throttle_limit_c: f64,
+    power_points: &[f64],
+    flow_fractions: &[f64],
+) -> Vec<ThrottleCell> {
+    let plate = ColdPlate::gpu();
+    let mut out = Vec::with_capacity(power_points.len() * flow_fractions.len());
+    for &p in power_points {
+        for &f in flow_fractions {
+            let q = plate.q_design * f;
+            let tj = plate.junction_temperature(p, coolant_temp_c, q);
+            out.push(ThrottleCell {
+                gpu_power_w: p,
+                coolant_temp_c,
+                flow_fraction: f,
+                junction_c: tj,
+                throttles: tj > throttle_limit_c,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exadigit_raps::workload::{WorkloadGenerator, WorkloadParams};
+
+    fn small_system() -> SystemConfig {
+        let mut cfg = SystemConfig::frontier();
+        cfg.partitions[0].nodes = 1024;
+        cfg.cooling.num_cdus = 3;
+        cfg.cooling.racks_per_cdu = 3;
+        cfg
+    }
+
+    #[test]
+    fn delivery_study_orders_losses_correctly() {
+        let cfg = small_system();
+        let mut generator = WorkloadGenerator::new(
+            WorkloadParams { machine_nodes: 1024, ..Default::default() },
+            99,
+        );
+        let jobs = generator.generate_day(0);
+        let study = PowerDeliveryStudy::run(&cfg, &jobs, 3 * 3600, Policy::FirstFit);
+        let base = study.outcome(PowerDelivery::StandardAC).report.avg_loss_mw;
+        let smart = study.outcome(PowerDelivery::SmartRectifiers).report.avg_loss_mw;
+        let dc = study.outcome(PowerDelivery::Direct380Vdc).report.avg_loss_mw;
+        // Paper ordering: DC < smart < baseline losses.
+        assert!(smart < base, "smart {smart} vs base {base}");
+        assert!(dc < smart, "dc {dc} vs smart {smart}");
+        // DC raises efficiency to ~97.3 %.
+        let eff_dc = study.outcome(PowerDelivery::Direct380Vdc).report.efficiency;
+        assert!((eff_dc - 0.973).abs() < 0.01, "eff={eff_dc}");
+        // And cuts carbon.
+        assert!(study.carbon_delta_percent(PowerDelivery::Direct380Vdc) < -3.0);
+        // Savings are positive for both variants.
+        assert!(study.yearly_savings_usd(PowerDelivery::SmartRectifiers, &cfg) > 0.0);
+        assert!(
+            study.yearly_savings_usd(PowerDelivery::Direct380Vdc, &cfg)
+                > study.yearly_savings_usd(PowerDelivery::SmartRectifiers, &cfg)
+        );
+    }
+
+    #[test]
+    fn blockage_detector_flags_outliers() {
+        let mut flows = vec![0.03; 25];
+        flows[7] = 0.012;
+        flows[19] = 0.015;
+        let report = detect_blockages(&flows, 0.85);
+        assert_eq!(report.flagged, vec![7, 19]);
+    }
+
+    #[test]
+    fn blockage_detector_clean_plant_flags_nothing() {
+        let flows = vec![0.03; 25];
+        assert!(detect_blockages(&flows, 0.85).flagged.is_empty());
+    }
+
+    #[test]
+    fn setpoint_sweep_finds_an_optimum() {
+        // Small plant for speed; three candidates bracket the default.
+        let spec = exadigit_cooling::PlantSpec::marconi100_like();
+        let sweep =
+            setpoint_sweep(&spec, &[20.0, 24.0, 28.0], 0.6, 16.0).expect("sweep runs");
+        assert_eq!(sweep.candidates.len(), 3);
+        let best = &sweep.candidates[sweep.best];
+        for c in &sweep.candidates {
+            assert!(best.pue <= c.pue + 1e-12);
+            assert!((0.9..1.4).contains(&c.pue), "pue {}", c.pue);
+        }
+    }
+
+    #[test]
+    fn weather_sweep_correlates_wet_bulb_with_supply_temp() {
+        let spec = exadigit_cooling::PlantSpec::marconi100_like();
+        let points = weather_sweep(&spec, &[8.0, 16.0, 24.0], 0.6).expect("sweep runs");
+        assert_eq!(points.len(), 3);
+        // Hotter weather cannot cool the coolant: supply temperature and
+        // cooling effort are non-decreasing in wet-bulb.
+        assert!(points[2].secondary_supply_c >= points[0].secondary_supply_c - 0.5);
+        assert!(points[2].cooling_power_w >= points[0].cooling_power_w * 0.95);
+    }
+
+    #[test]
+    fn throttle_scan_flags_low_flow_high_power() {
+        let cells = thermal_throttle_scan(32.0, 95.0, &[250.0, 560.0], &[1.0, 0.1]);
+        assert_eq!(cells.len(), 4);
+        let full = cells.iter().find(|c| c.gpu_power_w == 560.0 && c.flow_fraction == 1.0).unwrap();
+        let starved =
+            cells.iter().find(|c| c.gpu_power_w == 560.0 && c.flow_fraction == 0.1).unwrap();
+        assert!(!full.throttles, "design flow must not throttle");
+        assert!(starved.throttles, "starved plate must throttle");
+        assert!(starved.junction_c > full.junction_c);
+    }
+}

@@ -1,0 +1,692 @@
+//! Hydraulic network solver.
+//!
+//! Reproduces the algebraic flow/pressure solve that Modelica performs for
+//! the paper's plant model: given pump speeds, valve openings, and passive
+//! resistances connected between junctions, find branch flows and junction
+//! pressures satisfying (a) the pressure balance along every branch and
+//! (b) mass conservation at every junction.
+//!
+//! Formulation: unknowns are all branch flows `Q_b` plus the pressures of
+//! all non-reference nodes. Residuals:
+//!
+//! * per branch `b` from node `i` to `j`:
+//!   `r_b = P_i − P_j + rise_b(Q_b) − drop_b(Q_b)`   (Pa)
+//! * per non-reference node `n`:
+//!   `r_n = Σ Q_in − Σ Q_out + injection_n`           (m³/s)
+//!
+//! solved with damped Newton–Raphson over the dense Jacobian (networks in
+//! this domain are tens of branches, see `linalg`). Warm-starting from the
+//! previous time step keeps the per-step cost to 2-3 iterations during
+//! replay.
+
+use crate::linalg::Matrix;
+use exadigit_thermo::pump::Pump;
+use exadigit_thermo::valve::ControlValve;
+use exadigit_thermo::HydraulicResistance;
+
+/// Index of a junction in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(pub usize);
+
+/// Index of a branch in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchId(pub usize);
+
+/// A hydraulic element along a branch.
+#[derive(Debug, Clone)]
+pub enum BranchElement {
+    /// Passive quadratic resistance.
+    Resistance(HydraulicResistance),
+    /// Modulating control valve (resistance depends on opening).
+    Valve(ControlValve),
+    /// Centrifugal pump with a relative speed command in `[0, 1]`.
+    Pump { pump: Pump, speed: f64 },
+    /// Check valve: negligible drop forward, near-blocking reverse.
+    CheckValve {
+        /// Forward-flow resistance, Pa/(m³/s)².
+        k_forward: f64,
+        /// Reverse-flow resistance (large), Pa/(m³/s)².
+        k_reverse: f64,
+    },
+}
+
+impl BranchElement {
+    /// Net pressure *gain* contributed by the element at flow `q` and
+    /// temperature `t` (°C). Pumps are positive; passive elements negative.
+    fn pressure_gain(&self, q: f64, t: f64) -> f64 {
+        match self {
+            BranchElement::Resistance(r) => -r.pressure_drop(q),
+            BranchElement::Valve(v) => -v.pressure_drop(q),
+            BranchElement::Pump { pump, speed } => pump.pressure_rise(q.max(0.0), *speed, t),
+            BranchElement::CheckValve { k_forward, k_reverse } => {
+                let k = if q >= 0.0 { *k_forward } else { *k_reverse };
+                -k * q * q.abs()
+            }
+        }
+    }
+
+    /// Derivative of [`Self::pressure_gain`] with respect to flow.
+    fn dgain_dflow(&self, q: f64, t: f64) -> f64 {
+        const Q_EPS: f64 = 1e-6;
+        match self {
+            BranchElement::Resistance(r) => -r.dpressure_dflow(q),
+            BranchElement::Valve(v) => -2.0 * v.resistance() * q.abs().max(Q_EPS),
+            BranchElement::Pump { pump, speed } => pump.dpressure_dflow(q.max(0.0), *speed, t),
+            BranchElement::CheckValve { k_forward, k_reverse } => {
+                let k = if q >= 0.0 { *k_forward } else { *k_reverse };
+                -2.0 * k * q.abs().max(Q_EPS)
+            }
+        }
+    }
+}
+
+/// A branch: an ordered chain of elements between two junctions. Positive
+/// flow runs `from → to`.
+#[derive(Debug, Clone)]
+pub struct Branch {
+    /// Display name, e.g. `HTWP2` or `CDU13.primary`.
+    pub name: String,
+    /// Upstream junction for positive flow.
+    pub from: NodeId,
+    /// Downstream junction for positive flow.
+    pub to: NodeId,
+    /// Elements in series along the branch.
+    pub elements: Vec<BranchElement>,
+    /// Initial flow guess for cold starts, m³/s.
+    pub initial_flow: f64,
+}
+
+/// Solver failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolverError {
+    /// Newton iteration did not meet tolerance within the iteration cap.
+    NotConverged {
+        /// Iterations performed.
+        iterations: usize,
+        /// Final residual norm.
+        residual: f64,
+    },
+    /// The Jacobian became numerically singular (usually a disconnected
+    /// node or an all-zero branch).
+    SingularJacobian,
+    /// Network is structurally invalid (no nodes/branches).
+    EmptyNetwork,
+}
+
+impl std::fmt::Display for SolverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolverError::NotConverged { iterations, residual } => {
+                write!(f, "hydraulic solve did not converge after {iterations} iterations (residual {residual:.3e})")
+            }
+            SolverError::SingularJacobian => write!(f, "singular hydraulic Jacobian"),
+            SolverError::EmptyNetwork => write!(f, "hydraulic network has no nodes or branches"),
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// A converged flow/pressure state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    flows: Vec<f64>,
+    pressures: Vec<f64>,
+    /// Newton iterations used (diagnostic).
+    pub iterations: usize,
+}
+
+impl Solution {
+    /// Flow through a branch, m³/s (positive `from → to`).
+    pub fn flow(&self, b: BranchId) -> f64 {
+        self.flows[b.0]
+    }
+
+    /// Pressure at a node, Pa (reference node is at the configured value).
+    pub fn pressure(&self, n: NodeId) -> f64 {
+        self.pressures[n.0]
+    }
+
+    /// All branch flows.
+    pub fn flows(&self) -> &[f64] {
+        &self.flows
+    }
+}
+
+/// The hydraulic network: junctions, branches, one reference node.
+#[derive(Debug, Clone)]
+pub struct HydraulicNetwork {
+    node_names: Vec<String>,
+    branches: Vec<Branch>,
+    /// External volumetric injection per node (m³/s, positive into node).
+    injections: Vec<f64>,
+    /// Node whose pressure is pinned.
+    reference: NodeId,
+    /// Pressure at the reference node, Pa.
+    reference_pressure: f64,
+    /// Last solution, used as a warm start.
+    warm_start: Option<(Vec<f64>, Vec<f64>)>,
+}
+
+impl HydraulicNetwork {
+    /// Empty network. Node 0 (the first added) is the reference by default.
+    pub fn new() -> Self {
+        HydraulicNetwork {
+            node_names: Vec::new(),
+            branches: Vec::new(),
+            injections: Vec::new(),
+            reference: NodeId(0),
+            reference_pressure: 0.0,
+            warm_start: None,
+        }
+    }
+
+    /// Add a junction.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        self.node_names.push(name.into());
+        self.injections.push(0.0);
+        NodeId(self.node_names.len() - 1)
+    }
+
+    /// Add a branch of serial elements between two junctions.
+    pub fn add_branch(
+        &mut self,
+        name: impl Into<String>,
+        from: NodeId,
+        to: NodeId,
+        elements: Vec<BranchElement>,
+    ) -> BranchId {
+        assert!(from.0 < self.node_names.len() && to.0 < self.node_names.len());
+        assert!(from != to, "self-loop branches are not allowed");
+        self.branches.push(Branch {
+            name: name.into(),
+            from,
+            to,
+            elements,
+            initial_flow: 0.05,
+        });
+        self.warm_start = None;
+        BranchId(self.branches.len() - 1)
+    }
+
+    /// Pin the reference node and its pressure (Pa).
+    pub fn set_reference(&mut self, node: NodeId, pressure: f64) {
+        self.reference = node;
+        self.reference_pressure = pressure;
+    }
+
+    /// Set an external injection at a node (m³/s, positive into the node).
+    pub fn set_injection(&mut self, node: NodeId, q: f64) {
+        self.injections[node.0] = q;
+    }
+
+    /// Number of branches.
+    pub fn branch_count(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Branch name (for registries/diagnostics).
+    pub fn branch_name(&self, b: BranchId) -> &str {
+        &self.branches[b.0].name
+    }
+
+    /// Update the speed of every pump element on a branch.
+    pub fn set_pump_speed(&mut self, b: BranchId, new_speed: f64) {
+        for el in &mut self.branches[b.0].elements {
+            if let BranchElement::Pump { speed, .. } = el {
+                *speed = new_speed.clamp(0.0, 1.2);
+            }
+        }
+    }
+
+    /// Update the opening of every valve element on a branch.
+    pub fn set_valve_opening(&mut self, b: BranchId, opening: f64) {
+        for el in &mut self.branches[b.0].elements {
+            if let BranchElement::Valve(v) = el {
+                v.set_opening(opening);
+            }
+        }
+    }
+
+    /// Set the cold-start flow guess of a branch.
+    pub fn set_initial_flow(&mut self, b: BranchId, q: f64) {
+        self.branches[b.0].initial_flow = q;
+    }
+
+    /// Update the coefficient of every plain resistance on a branch — used
+    /// for aggregate branches whose effective `k` changes with staging
+    /// (e.g. `k_cell / n²` for `n` parallel tower cells).
+    pub fn set_resistance(&mut self, b: BranchId, k: f64) {
+        for el in &mut self.branches[b.0].elements {
+            if let BranchElement::Resistance(r) = el {
+                r.k = k;
+            }
+        }
+    }
+
+    /// Invalidate the warm start (use after topology-scale changes).
+    pub fn clear_warm_start(&mut self) {
+        self.warm_start = None;
+    }
+
+    /// Net pressure gain along a branch at flow `q`, temperature `t`.
+    fn branch_gain(&self, b: &Branch, q: f64, t: f64) -> f64 {
+        b.elements.iter().map(|e| e.pressure_gain(q, t)).sum()
+    }
+
+    /// Derivative of the branch gain with respect to flow.
+    fn branch_dgain(&self, b: &Branch, q: f64, t: f64) -> f64 {
+        b.elements.iter().map(|e| e.dgain_dflow(q, t)).sum()
+    }
+
+    /// Solve the network at fluid temperature `t` (°C).
+    ///
+    /// Residual scaling: pressure equations are measured in Pa (tolerance
+    /// 0.5 Pa), mass balances in m³/s (tolerance 1e-8). Damped Newton with
+    /// step halving; warm-started from the previous solution.
+    pub fn solve(&mut self, t: f64) -> Result<Solution, SolverError> {
+        let nb = self.branches.len();
+        let nn = self.node_names.len();
+        if nb == 0 || nn == 0 {
+            return Err(SolverError::EmptyNetwork);
+        }
+        const MAX_ITERS: usize = 60;
+        const P_TOL: f64 = 0.5; // Pa
+        const Q_TOL: f64 = 1e-8; // m³/s
+
+        // Unknown layout: [flows(nb) ..., pressures(non-reference nodes)].
+        // Map node -> unknown column (reference node maps to None).
+        let mut pcol = vec![None; nn];
+        let mut col = nb;
+        for n in 0..nn {
+            if n != self.reference.0 {
+                pcol[n] = Some(col);
+                col += 1;
+            }
+        }
+        let dim = col;
+
+        // Initial guess.
+        let (mut q, mut p) = match &self.warm_start {
+            Some((wq, wp)) if wq.len() == nb && wp.len() == nn => (wq.clone(), wp.clone()),
+            _ => (
+                self.branches.iter().map(|b| b.initial_flow).collect::<Vec<_>>(),
+                vec![self.reference_pressure; nn],
+            ),
+        };
+        p[self.reference.0] = self.reference_pressure;
+
+        let residual_norm = |r: &[f64]| -> f64 {
+            // Scale each equation by its tolerance so one norm covers both.
+            let mut norm: f64 = 0.0;
+            for (i, &v) in r.iter().enumerate() {
+                let tol = if i < nb { P_TOL } else { Q_TOL };
+                norm = norm.max(v.abs() / tol);
+            }
+            norm
+        };
+
+        let compute_residual = |q: &[f64], p: &[f64]| -> Vec<f64> {
+            let mut r = vec![0.0; dim];
+            for (bi, b) in self.branches.iter().enumerate() {
+                r[bi] = p[b.from.0] - p[b.to.0] + self.branch_gain(b, q[bi], t);
+            }
+            // Mass balance rows come after the nb branch rows, one per
+            // non-reference node, in node order.
+            let mut row = nb;
+            for n in 0..nn {
+                if n == self.reference.0 {
+                    continue;
+                }
+                let mut balance = self.injections[n];
+                for (bi, b) in self.branches.iter().enumerate() {
+                    if b.to.0 == n {
+                        balance += q[bi];
+                    }
+                    if b.from.0 == n {
+                        balance -= q[bi];
+                    }
+                }
+                r[row] = balance;
+                row += 1;
+            }
+            r
+        };
+
+        let mut r = compute_residual(&q, &p);
+        let mut norm = residual_norm(&r);
+        let mut iterations = 0;
+
+        while norm > 1.0 && iterations < MAX_ITERS {
+            iterations += 1;
+            // Assemble the Jacobian.
+            let mut jac = Matrix::zeros(dim, dim);
+            for (bi, b) in self.branches.iter().enumerate() {
+                jac[(bi, bi)] = self.branch_dgain(b, q[bi], t);
+                if let Some(c) = pcol[b.from.0] {
+                    jac[(bi, c)] = 1.0;
+                }
+                if let Some(c) = pcol[b.to.0] {
+                    jac[(bi, c)] = -1.0;
+                }
+            }
+            let mut row = nb;
+            for n in 0..nn {
+                if n == self.reference.0 {
+                    continue;
+                }
+                for (bi, b) in self.branches.iter().enumerate() {
+                    if b.to.0 == n {
+                        jac[(row, bi)] += 1.0;
+                    }
+                    if b.from.0 == n {
+                        jac[(row, bi)] -= 1.0;
+                    }
+                }
+                row += 1;
+            }
+
+            let neg_r: Vec<f64> = r.iter().map(|v| -v).collect();
+            let dx = jac.solve(&neg_r).ok_or(SolverError::SingularJacobian)?;
+
+            // Damped update: halve the step until the residual improves.
+            let mut alpha = 1.0;
+            let mut improved = false;
+            for _ in 0..8 {
+                let mut q_try = q.clone();
+                let mut p_try = p.clone();
+                for (bi, qt) in q_try.iter_mut().enumerate() {
+                    *qt += alpha * dx[bi];
+                }
+                for n in 0..nn {
+                    if let Some(c) = pcol[n] {
+                        p_try[n] += alpha * dx[c];
+                    }
+                }
+                let r_try = compute_residual(&q_try, &p_try);
+                let norm_try = residual_norm(&r_try);
+                if norm_try < norm {
+                    q = q_try;
+                    p = p_try;
+                    r = r_try;
+                    norm = norm_try;
+                    improved = true;
+                    break;
+                }
+                alpha *= 0.5;
+            }
+            if !improved {
+                // Take the smallest step anyway to escape flat regions.
+                for (bi, qv) in q.iter_mut().enumerate() {
+                    *qv += alpha * dx[bi];
+                }
+                for n in 0..nn {
+                    if let Some(c) = pcol[n] {
+                        p[n] += alpha * dx[c];
+                    }
+                }
+                r = compute_residual(&q, &p);
+                norm = residual_norm(&r);
+            }
+        }
+
+        if norm > 1.0 {
+            return Err(SolverError::NotConverged { iterations, residual: norm });
+        }
+        self.warm_start = Some((q.clone(), p.clone()));
+        Ok(Solution { flows: q, pressures: p, iterations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exadigit_thermo::pump::Pump;
+
+    /// Single pump driving a single resistance in a two-node loop.
+    fn simple_loop() -> (HydraulicNetwork, BranchId, BranchId) {
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_node("supply");
+        let b = net.add_node("return");
+        let pump = Pump::from_design_point("P", 0.3, 25.0, 0.8);
+        let bp = net.add_branch(
+            "pump",
+            a,
+            b,
+            vec![BranchElement::Pump { pump, speed: 1.0 }],
+        );
+        let br = net.add_branch(
+            "load",
+            b,
+            a,
+            vec![BranchElement::Resistance(HydraulicResistance::from_design(0.3, 25.0 * 997.0 * 9.80665))],
+        );
+        net.set_reference(a, 0.0);
+        (net, bp, br)
+    }
+
+    #[test]
+    fn simple_loop_operating_point() {
+        let (mut net, bp, br) = simple_loop();
+        let sol = net.solve(25.0).expect("must converge");
+        // Pump sized for 0.3 m³/s at 25 m; load sized to drop 25 m at 0.3:
+        // the operating point is exactly the design point.
+        assert!((sol.flow(bp) - 0.3).abs() < 1e-3, "q={}", sol.flow(bp));
+        // Loop continuity: both branches carry identical flow.
+        assert!((sol.flow(bp) - sol.flow(br)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mass_conserved_at_every_node() {
+        let (mut net, _, _) = simple_loop();
+        let sol = net.solve(25.0).unwrap();
+        // Branch 0 enters node 1, branch 1 leaves node 1.
+        let net_flow = sol.flows()[0] - sol.flows()[1];
+        assert!(net_flow.abs() < 1e-8);
+    }
+
+    #[test]
+    fn parallel_resistances_split_by_conductance() {
+        // One pump feeding two parallel resistances, one 4x the other:
+        // quadratic law -> flow ratio = sqrt(4) = 2.
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_node("supply");
+        let b = net.add_node("return");
+        let pump = Pump::from_design_point("P", 0.4, 30.0, 0.8);
+        net.add_branch("pump", a, b, vec![BranchElement::Pump { pump, speed: 1.0 }]);
+        let k = 1.0e6;
+        let b1 = net.add_branch(
+            "r1",
+            b,
+            a,
+            vec![BranchElement::Resistance(HydraulicResistance { k })],
+        );
+        let b2 = net.add_branch(
+            "r2",
+            b,
+            a,
+            vec![BranchElement::Resistance(HydraulicResistance { k: 4.0 * k })],
+        );
+        let sol = net.solve(25.0).unwrap();
+        let ratio = sol.flow(b1) / sol.flow(b2);
+        assert!((ratio - 2.0).abs() < 1e-6, "ratio={ratio}");
+    }
+
+    #[test]
+    fn pump_speed_reduces_flow() {
+        let (mut net, bp, _) = simple_loop();
+        let q_full = net.solve(25.0).unwrap().flow(bp);
+        net.set_pump_speed(bp, 0.6);
+        net.clear_warm_start();
+        let q_slow = net.solve(25.0).unwrap().flow(bp);
+        assert!(q_slow < q_full);
+        // Affinity: flow scales ~linearly with speed for a quadratic system
+        // curve.
+        assert!((q_slow / q_full - 0.6).abs() < 0.05, "ratio={}", q_slow / q_full);
+    }
+
+    #[test]
+    fn valve_throttles_flow() {
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_node("supply");
+        let b = net.add_node("return");
+        let pump = Pump::from_design_point("P", 0.3, 25.0, 0.8);
+        net.add_branch("pump", a, b, vec![BranchElement::Pump { pump, speed: 1.0 }]);
+        let valve = ControlValve::from_design("V", 0.3, 60_000.0);
+        let bl = net.add_branch(
+            "load",
+            b,
+            a,
+            vec![
+                BranchElement::Valve(valve),
+                BranchElement::Resistance(HydraulicResistance::from_design(0.3, 120_000.0)),
+            ],
+        );
+        let q_open = net.solve(25.0).unwrap().flow(bl);
+        net.set_valve_opening(bl, 0.3);
+        let q_throttled = net.solve(25.0).unwrap().flow(bl);
+        assert!(q_throttled < 0.6 * q_open, "open={q_open} throttled={q_throttled}");
+    }
+
+    #[test]
+    fn check_valve_blocks_reverse_flow() {
+        // Two pumps in parallel, one switched off with a check valve: the
+        // off branch must carry (almost) no reverse flow.
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_node("supply");
+        let b = net.add_node("return");
+        let p1 = Pump::from_design_point("P1", 0.3, 25.0, 0.8);
+        let p2 = Pump::from_design_point("P2", 0.3, 25.0, 0.8);
+        net.add_branch("pump1", a, b, vec![BranchElement::Pump { pump: p1, speed: 1.0 }]);
+        let off = net.add_branch(
+            "pump2",
+            a,
+            b,
+            vec![
+                BranchElement::Pump { pump: p2, speed: 0.0 },
+                BranchElement::CheckValve { k_forward: 1e3, k_reverse: 1e12 },
+            ],
+        );
+        net.add_branch(
+            "load",
+            b,
+            a,
+            vec![BranchElement::Resistance(HydraulicResistance::from_design(0.3, 200_000.0))],
+        );
+        let sol = net.solve(25.0).unwrap();
+        assert!(sol.flow(off).abs() < 1e-3, "reverse flow {}", sol.flow(off));
+    }
+
+    #[test]
+    fn warm_start_reduces_iterations() {
+        let (mut net, _, _) = simple_loop();
+        let cold = net.solve(25.0).unwrap().iterations;
+        let warm = net.solve(25.0).unwrap().iterations;
+        assert!(warm <= cold, "warm={warm} cold={cold}");
+    }
+
+    #[test]
+    fn empty_network_is_an_error() {
+        let mut net = HydraulicNetwork::new();
+        assert_eq!(net.solve(25.0), Err(SolverError::EmptyNetwork));
+    }
+
+    #[test]
+    fn injection_balances_at_node() {
+        // Straight pipe between two nodes with injection at one end and the
+        // reference absorbing it.
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_node("in");
+        let b = net.add_node("out");
+        let br = net.add_branch(
+            "pipe",
+            a,
+            b,
+            vec![BranchElement::Resistance(HydraulicResistance::from_design(0.1, 10_000.0))],
+        );
+        net.set_reference(b, 0.0);
+        net.set_injection(a, 0.07);
+        let sol = net.solve(25.0).unwrap();
+        assert!((sol.flow(br) - 0.07).abs() < 1e-8);
+        // Pressure at the injection node must be positive (driving flow).
+        assert!(sol.pressure(a) > 0.0);
+    }
+
+    #[test]
+    fn frontier_scale_parallel_network_converges() {
+        // 4 pumps in parallel into a header feeding 25 parallel CDU
+        // branches — the primary-loop shape from Fig. 5 of the paper.
+        let mut net = HydraulicNetwork::new();
+        let supply = net.add_node("supply_header");
+        let ret = net.add_node("return_header");
+        for i in 0..4 {
+            let p = Pump::from_design_point(format!("HTWP{i}"), 0.1, 35.0, 0.82);
+            net.add_branch(
+                format!("htwp{i}"),
+                ret,
+                supply,
+                vec![
+                    BranchElement::Pump { pump: p, speed: 0.9 },
+                    BranchElement::CheckValve { k_forward: 1e3, k_reverse: 1e12 },
+                ],
+            );
+        }
+        let mut cdu_branches = Vec::new();
+        for i in 0..25 {
+            let valve = ControlValve::from_design(format!("V{i}"), 0.015, 40_000.0);
+            let b = net.add_branch(
+                format!("cdu{i}"),
+                supply,
+                ret,
+                vec![
+                    BranchElement::Valve(valve),
+                    BranchElement::Resistance(HydraulicResistance::from_design(0.015, 80_000.0)),
+                ],
+            );
+            cdu_branches.push(b);
+        }
+        let sol = net.solve(30.0).expect("Frontier-scale network must converge");
+        // All CDU branches identical -> equal flows.
+        let q0 = sol.flow(cdu_branches[0]);
+        assert!(q0 > 0.0);
+        for &b in &cdu_branches[1..] {
+            assert!((sol.flow(b) - q0).abs() < 1e-9);
+        }
+        // Total pump flow equals total CDU flow.
+        let pump_total: f64 = (0..4).map(|i| sol.flows()[i]).sum();
+        let cdu_total: f64 = cdu_branches.iter().map(|&b| sol.flow(b)).sum();
+        assert!((pump_total - cdu_total).abs() < 1e-7);
+    }
+
+    #[test]
+    fn closing_one_valve_redistributes_flow() {
+        let mut net = HydraulicNetwork::new();
+        let supply = net.add_node("s");
+        let ret = net.add_node("r");
+        let p = Pump::from_design_point("P", 0.4, 30.0, 0.82);
+        net.add_branch("pump", ret, supply, vec![BranchElement::Pump { pump: p, speed: 1.0 }]);
+        let mut branches = Vec::new();
+        for i in 0..3 {
+            let valve = ControlValve::from_design(format!("V{i}"), 0.13, 50_000.0);
+            branches.push(net.add_branch(
+                format!("leg{i}"),
+                supply,
+                ret,
+                vec![BranchElement::Valve(valve)],
+            ));
+        }
+        let before = net.solve(25.0).unwrap();
+        let q_before: Vec<f64> = branches.iter().map(|&b| before.flow(b)).collect();
+        net.set_valve_opening(branches[0], 0.15);
+        let after = net.solve(25.0).unwrap();
+        // Throttled leg drops, the others pick up.
+        assert!(after.flow(branches[0]) < q_before[0]);
+        assert!(after.flow(branches[1]) > q_before[1]);
+        assert!(after.flow(branches[2]) > q_before[2]);
+    }
+}

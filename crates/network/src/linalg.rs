@@ -1,0 +1,209 @@
+//! Small dense linear algebra.
+//!
+//! The hydraulic Newton solver needs to factor Jacobians of a few dozen
+//! rows at every iteration of every 15 s cooling step. Networks this size
+//! are fastest with a plain dense LU with partial pivoting — no external
+//! BLAS needed, no sparse bookkeeping worth its overhead.
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major nested slice (rows must be equal length).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// Solve `A·x = b` in place via LU with partial pivoting; consumes the
+    /// matrix (it is overwritten by the factors). Returns `None` when the
+    /// matrix is numerically singular.
+    pub fn solve(mut self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve needs a square matrix");
+        assert_eq!(b.len(), self.rows);
+        let n = self.rows;
+        let mut x: Vec<f64> = b.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at/below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = self[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = self[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < 1e-14 {
+                return None;
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = self[(k, j)];
+                    self[(k, j)] = self[(pivot_row, j)];
+                    self[(pivot_row, j)] = tmp;
+                }
+                x.swap(k, pivot_row);
+                perm.swap(k, pivot_row);
+            }
+            // Eliminate below.
+            let pivot = self[(k, k)];
+            for i in (k + 1)..n {
+                let factor = self[(i, k)] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                self[(i, k)] = 0.0;
+                for j in (k + 1)..n {
+                    self[(i, j)] -= factor * self[(k, j)];
+                }
+                x[i] -= factor * x[k];
+            }
+        }
+        // Back substitution.
+        for k in (0..n).rev() {
+            let mut sum = x[k];
+            for j in (k + 1)..n {
+                sum -= self[(k, j)] * x[j];
+            }
+            x[k] = sum / self[(k, k)];
+        }
+        Some(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solve_identity() {
+        let b = vec![1.0, 2.0, 3.0];
+        let x = Matrix::identity(3).solve(&b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn solve_hand_worked_system() {
+        // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the initial diagonal: fails without partial pivoting.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(a.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn mul_vec_matches() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+
+    proptest! {
+        /// A·x recovered by solve(A, A·x) for diagonally dominant A.
+        #[test]
+        fn prop_solve_round_trip(seed in 0u64..1000) {
+            let mut rng = exadigit_sim::Rng::new(seed);
+            let n = 2 + (seed % 9) as usize;
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                let mut off_diag_sum = 0.0;
+                for j in 0..n {
+                    if i != j {
+                        let v = rng.uniform_range(-1.0, 1.0);
+                        a[(i, j)] = v;
+                        off_diag_sum += v.abs();
+                    }
+                }
+                // Diagonal dominance guarantees a well-conditioned solve.
+                a[(i, i)] = off_diag_sum + 1.0 + rng.uniform();
+            }
+            let x_true: Vec<f64> = (0..n).map(|_| rng.uniform_range(-10.0, 10.0)).collect();
+            let b = a.mul_vec(&x_true);
+            let x = a.solve(&b).expect("diagonally dominant must solve");
+            for (xi, ti) in x.iter().zip(&x_true) {
+                prop_assert!((xi - ti).abs() < 1e-8, "xi={} ti={}", xi, ti);
+            }
+        }
+    }
+}

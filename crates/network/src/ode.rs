@@ -1,0 +1,284 @@
+//! General-purpose ODE integrators.
+//!
+//! Modelica hides the solver behind its acausal front end; here the solver
+//! is explicit. The cooling model mostly uses exact exponential updates for
+//! its linear thermal states (see `exadigit-thermo::pipe::ThermalVolume`),
+//! but nonlinear states (tower basin coupling, controller filters under
+//! saturation) and the AutoCSM-generated plants integrate with these
+//! fixed-step or adaptive schemes.
+
+/// Right-hand side of `dy/dt = f(t, y)`, writing the derivative into `dydt`.
+pub trait OdeSystem {
+    /// Evaluate the derivative at time `t` for state `y`.
+    fn derivative(&self, t: f64, y: &[f64], dydt: &mut [f64]);
+}
+
+impl<F> OdeSystem for F
+where
+    F: Fn(f64, &[f64], &mut [f64]),
+{
+    fn derivative(&self, t: f64, y: &[f64], dydt: &mut [f64]) {
+        self(t, y, dydt)
+    }
+}
+
+/// One explicit Euler step (first order).
+pub fn euler_step(sys: &impl OdeSystem, t: f64, y: &mut [f64], dt: f64, scratch: &mut [f64]) {
+    sys.derivative(t, y, scratch);
+    for (yi, di) in y.iter_mut().zip(scratch.iter()) {
+        *yi += di * dt;
+    }
+}
+
+/// One classical Runge–Kutta 4 step (fourth order).
+pub fn rk4_step(sys: &impl OdeSystem, t: f64, y: &mut [f64], dt: f64) {
+    let n = y.len();
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+
+    sys.derivative(t, y, &mut k1);
+    for i in 0..n {
+        tmp[i] = y[i] + 0.5 * dt * k1[i];
+    }
+    sys.derivative(t + 0.5 * dt, &tmp, &mut k2);
+    for i in 0..n {
+        tmp[i] = y[i] + 0.5 * dt * k2[i];
+    }
+    sys.derivative(t + 0.5 * dt, &tmp, &mut k3);
+    for i in 0..n {
+        tmp[i] = y[i] + dt * k3[i];
+    }
+    sys.derivative(t + dt, &tmp, &mut k4);
+    for i in 0..n {
+        y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+}
+
+/// Integrate from `t0` to `t1` with RK4 using at most `max_dt` sub-steps.
+pub fn rk4_integrate(sys: &impl OdeSystem, t0: f64, t1: f64, y: &mut [f64], max_dt: f64) {
+    assert!(t1 >= t0 && max_dt > 0.0);
+    let span = t1 - t0;
+    if span == 0.0 {
+        return;
+    }
+    let steps = (span / max_dt).ceil() as usize;
+    let dt = span / steps as f64;
+    let mut t = t0;
+    for _ in 0..steps {
+        rk4_step(sys, t, y, dt);
+        t += dt;
+    }
+}
+
+/// Adaptive Runge–Kutta–Fehlberg 4(5): integrates from `t0` to `t1`
+/// keeping the per-step error estimate below `tol` (mixed abs/rel).
+/// Returns the number of accepted steps.
+pub fn rkf45_integrate(
+    sys: &impl OdeSystem,
+    t0: f64,
+    t1: f64,
+    y: &mut [f64],
+    tol: f64,
+) -> usize {
+    assert!(t1 >= t0 && tol > 0.0);
+    let n = y.len();
+    let mut t = t0;
+    let mut dt = (t1 - t0) / 16.0;
+    let min_dt = (t1 - t0) * 1e-10;
+    let mut accepted = 0usize;
+
+    let mut k = vec![vec![0.0; n]; 6];
+    let mut tmp = vec![0.0; n];
+
+    // Fehlberg coefficients.
+    const A: [f64; 6] = [0.0, 0.25, 3.0 / 8.0, 12.0 / 13.0, 1.0, 0.5];
+    const B: [[f64; 5]; 6] = [
+        [0.0, 0.0, 0.0, 0.0, 0.0],
+        [0.25, 0.0, 0.0, 0.0, 0.0],
+        [3.0 / 32.0, 9.0 / 32.0, 0.0, 0.0, 0.0],
+        [1932.0 / 2197.0, -7200.0 / 2197.0, 7296.0 / 2197.0, 0.0, 0.0],
+        [439.0 / 216.0, -8.0, 3680.0 / 513.0, -845.0 / 4104.0, 0.0],
+        [-8.0 / 27.0, 2.0, -3544.0 / 2565.0, 1859.0 / 4104.0, -11.0 / 40.0],
+    ];
+    const C4: [f64; 6] = [25.0 / 216.0, 0.0, 1408.0 / 2565.0, 2197.0 / 4104.0, -0.2, 0.0];
+    const C5: [f64; 6] =
+        [16.0 / 135.0, 0.0, 6656.0 / 12825.0, 28561.0 / 56430.0, -9.0 / 50.0, 2.0 / 55.0];
+
+    while t < t1 {
+        if t + dt > t1 {
+            dt = t1 - t;
+        }
+        // Evaluate the six stages.
+        for s in 0..6 {
+            for i in 0..n {
+                let mut acc = y[i];
+                for (j, kj) in k.iter().enumerate().take(s) {
+                    acc += dt * B[s][j] * kj[i];
+                }
+                tmp[i] = acc;
+            }
+            let (head, tail) = k.split_at_mut(s);
+            let _ = head;
+            sys.derivative(t + A[s] * dt, &tmp, &mut tail[0]);
+        }
+        // 4th/5th order solutions and error estimate.
+        let mut err: f64 = 0.0;
+        for i in 0..n {
+            let mut y4 = y[i];
+            let mut y5 = y[i];
+            for s in 0..6 {
+                y4 += dt * C4[s] * k[s][i];
+                y5 += dt * C5[s] * k[s][i];
+            }
+            let scale = tol * (1.0 + y[i].abs());
+            err = err.max((y5 - y4).abs() / scale);
+            tmp[i] = y5;
+        }
+        if err <= 1.0 || dt <= min_dt {
+            y.copy_from_slice(&tmp);
+            t += dt;
+            accepted += 1;
+        }
+        // Standard step-size controller with safety factor.
+        let factor = if err > 0.0 { 0.9 * err.powf(-0.2) } else { 2.0 };
+        dt *= factor.clamp(0.2, 4.0);
+        if dt < min_dt {
+            dt = min_dt;
+        }
+    }
+    accepted
+}
+
+/// One backward-Euler step for stiff systems: solves the implicit relation
+/// `g(y1) = y1 − y0 − dt·f(t+dt, y1) = 0` by Newton iteration with a
+/// finite-difference Jacobian and dense LU solve. Returns `false` when the
+/// Newton loop does not meet `tol` within `max_iters`.
+pub fn backward_euler_step(
+    sys: &impl OdeSystem,
+    t: f64,
+    y: &mut [f64],
+    dt: f64,
+    max_iters: usize,
+    tol: f64,
+) -> bool {
+    use crate::linalg::Matrix;
+    let n = y.len();
+    let y0 = y.to_vec();
+    let mut f = vec![0.0; n];
+    let mut f_pert = vec![0.0; n];
+
+    for _ in 0..max_iters {
+        sys.derivative(t + dt, y, &mut f);
+        // Residual g(y) = y - y0 - dt f(y).
+        let g: Vec<f64> = (0..n).map(|i| y[i] - y0[i] - dt * f[i]).collect();
+        let norm = g.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        if norm < tol {
+            return true;
+        }
+        // Finite-difference Jacobian of g: I - dt * df/dy.
+        let mut jac = Matrix::zeros(n, n);
+        for j in 0..n {
+            let h = 1e-7 * (1.0 + y[j].abs());
+            let saved = y[j];
+            y[j] = saved + h;
+            sys.derivative(t + dt, y, &mut f_pert);
+            y[j] = saved;
+            for i in 0..n {
+                let dfij = (f_pert[i] - f[i]) / h;
+                jac[(i, j)] = if i == j { 1.0 } else { 0.0 } - dt * dfij;
+            }
+        }
+        let neg_g: Vec<f64> = g.iter().map(|v| -v).collect();
+        let Some(delta) = jac.solve(&neg_g) else { return false };
+        for i in 0..n {
+            y[i] += delta[i];
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// dy/dt = -y, y(0)=1 -> y(t) = e^-t.
+    fn decay(_t: f64, y: &[f64], dydt: &mut [f64]) {
+        dydt[0] = -y[0];
+    }
+
+    /// Harmonic oscillator: y'' = -y as a 2-state system.
+    fn oscillator(_t: f64, y: &[f64], dydt: &mut [f64]) {
+        dydt[0] = y[1];
+        dydt[1] = -y[0];
+    }
+
+    #[test]
+    fn euler_first_order_accuracy() {
+        let mut y = [1.0];
+        let mut scratch = [0.0];
+        let dt = 1e-4;
+        for i in 0..10_000 {
+            euler_step(&decay, i as f64 * dt, &mut y, dt, &mut scratch);
+        }
+        assert!((y[0] - (-1.0f64).exp()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rk4_fourth_order_accuracy() {
+        let mut y = [1.0];
+        rk4_integrate(&decay, 0.0, 1.0, &mut y, 0.1);
+        assert!((y[0] - (-1.0f64).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rk4_oscillator_conserves_energy_approximately() {
+        let mut y = [1.0, 0.0];
+        rk4_integrate(&oscillator, 0.0, 2.0 * std::f64::consts::PI, &mut y, 0.01);
+        // One full period: back to the start.
+        assert!((y[0] - 1.0).abs() < 1e-8, "y0={}", y[0]);
+        assert!(y[1].abs() < 1e-8, "y1={}", y[1]);
+    }
+
+    #[test]
+    fn rkf45_meets_tolerance() {
+        let mut y = [1.0];
+        let steps = rkf45_integrate(&decay, 0.0, 5.0, &mut y, 1e-8);
+        assert!((y[0] - (-5.0f64).exp()).abs() < 1e-6);
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn rkf45_adapts_step_count_to_tolerance() {
+        let mut y1 = [1.0, 0.0];
+        let loose = rkf45_integrate(&oscillator, 0.0, 10.0, &mut y1, 1e-3);
+        let mut y2 = [1.0, 0.0];
+        let tight = rkf45_integrate(&oscillator, 0.0, 10.0, &mut y2, 1e-10);
+        assert!(tight > loose, "tight={tight} loose={loose}");
+    }
+
+    #[test]
+    fn backward_euler_stable_on_stiff_decay() {
+        // dt = 10 with lambda = -1: explicit Euler would explode
+        // (|1 - 10| = 9 > 1); backward Euler must stay bounded.
+        let mut y = [1.0];
+        for i in 0..10 {
+            let ok = backward_euler_step(&decay, i as f64 * 10.0, &mut y, 10.0, 200, 1e-12);
+            assert!(ok);
+        }
+        assert!(y[0].abs() < 1.0);
+        assert!(y[0] >= 0.0);
+    }
+
+    #[test]
+    fn closure_implements_system_trait() {
+        let sys = |_t: f64, y: &[f64], d: &mut [f64]| {
+            d[0] = 2.0 * y[0];
+        };
+        let mut y = [1.0];
+        rk4_integrate(&sys, 0.0, 0.5, &mut y, 0.01);
+        assert!((y[0] - 1.0f64.exp()).abs() < 1e-6);
+    }
+}

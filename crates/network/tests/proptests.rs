@@ -1,0 +1,109 @@
+//! Property-based tests for the hydraulic solver: conservation laws must
+//! hold on randomly generated networks, not just the hand-built ones.
+
+use exadigit_network::hydraulic::{BranchElement, HydraulicNetwork};
+use exadigit_thermo::pump::Pump;
+use exadigit_thermo::HydraulicResistance;
+use proptest::prelude::*;
+
+/// Build a pump feeding `n_legs` parallel resistances with random sizing.
+fn parallel_network(
+    n_legs: usize,
+    pump_q: f64,
+    pump_h: f64,
+    ks: &[f64],
+) -> (HydraulicNetwork, Vec<exadigit_network::hydraulic::BranchId>) {
+    let mut net = HydraulicNetwork::new();
+    let a = net.add_node("supply");
+    let b = net.add_node("return");
+    net.set_reference(a, 100_000.0);
+    let pump = Pump::from_design_point("P", pump_q, pump_h, 0.8);
+    net.add_branch("pump", b, a, vec![BranchElement::Pump { pump, speed: 1.0 }]);
+    let mut legs = Vec::with_capacity(n_legs);
+    for (i, &k) in ks.iter().take(n_legs).enumerate() {
+        legs.push(net.add_branch(
+            format!("leg{i}"),
+            a,
+            b,
+            vec![BranchElement::Resistance(HydraulicResistance { k })],
+        ));
+    }
+    (net, legs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Mass is conserved: pump flow equals the sum of leg flows, and all
+    /// leg flows are non-negative, for any random parallel network.
+    #[test]
+    fn parallel_network_conserves_mass(
+        n_legs in 1usize..12,
+        pump_q in 0.05f64..1.0,
+        pump_h in 10.0f64..50.0,
+        ks in prop::collection::vec(1e4f64..1e8, 12),
+    ) {
+        let (mut net, legs) = parallel_network(n_legs, pump_q, pump_h, &ks);
+        let sol = net.solve(25.0).expect("parallel network must converge");
+        let pump_flow = sol.flows()[0];
+        let leg_total: f64 = legs.iter().map(|&b| sol.flow(b)).sum();
+        prop_assert!((pump_flow - leg_total).abs() < 1e-7,
+            "pump {pump_flow} vs legs {leg_total}");
+        for &b in &legs {
+            prop_assert!(sol.flow(b) >= -1e-9);
+        }
+        prop_assert!(pump_flow > 0.0);
+    }
+
+    /// Pressure balance holds along every leg: ΔP across the leg equals
+    /// k·Q² within tolerance.
+    #[test]
+    fn leg_pressure_balance(
+        n_legs in 1usize..8,
+        pump_q in 0.05f64..1.0,
+        ks in prop::collection::vec(1e4f64..1e8, 8),
+    ) {
+        let (mut net, legs) = parallel_network(n_legs, pump_q, 30.0, &ks);
+        let sol = net.solve(25.0).expect("converges");
+        // Node 0 = supply (reference, 100 kPa), node 1 = return.
+        let dp = sol.pressure(exadigit_network::hydraulic::NodeId(0))
+            - sol.pressure(exadigit_network::hydraulic::NodeId(1));
+        for (i, &b) in legs.iter().enumerate() {
+            let q = sol.flow(b);
+            let drop = ks[i] * q * q;
+            prop_assert!((drop - dp).abs() <= 1.0 + 1e-6 * dp.abs(),
+                "leg {i}: drop {drop} vs dp {dp}");
+        }
+    }
+
+    /// Higher-resistance legs carry less flow (flow ordering follows
+    /// conductance ordering).
+    #[test]
+    fn flow_ordering_matches_conductance(
+        pump_q in 0.05f64..1.0,
+        k_lo in 1e4f64..1e6,
+        ratio in 1.5f64..50.0,
+    ) {
+        let ks = vec![k_lo, k_lo * ratio];
+        let (mut net, legs) = parallel_network(2, pump_q, 30.0, &ks);
+        let sol = net.solve(25.0).expect("converges");
+        prop_assert!(sol.flow(legs[0]) > sol.flow(legs[1]),
+            "low-k leg must carry more flow");
+    }
+
+    /// The solve is idempotent: warm-started re-solve returns the same
+    /// state.
+    #[test]
+    fn solve_idempotent(
+        n_legs in 1usize..8,
+        pump_q in 0.05f64..1.0,
+        ks in prop::collection::vec(1e4f64..1e8, 8),
+    ) {
+        let (mut net, legs) = parallel_network(n_legs, pump_q, 30.0, &ks);
+        let first = net.solve(25.0).expect("converges");
+        let second = net.solve(25.0).expect("converges");
+        for &b in &legs {
+            prop_assert!((first.flow(b) - second.flow(b)).abs() < 1e-9);
+        }
+    }
+}

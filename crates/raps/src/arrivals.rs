@@ -1,0 +1,94 @@
+//! Poisson job arrivals.
+//!
+//! §III-B4 of the paper: "RUNSIMULATION submits jobs to the queue according
+//! to a Poisson process, where an exponential distribution is used to model
+//! the time between job arrivals", eq. (5): `τ = −ln(1−U)/λ` with
+//! `λ = 1/t_avg` estimated from telemetry.
+
+use exadigit_sim::Rng;
+
+/// A Poisson arrival process parameterised by the mean inter-arrival time.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    /// Mean inter-arrival time `t_avg`, seconds.
+    pub t_avg_s: f64,
+}
+
+impl PoissonArrivals {
+    /// Process with mean inter-arrival `t_avg_s` seconds.
+    pub fn new(t_avg_s: f64) -> Self {
+        assert!(t_avg_s > 0.0);
+        PoissonArrivals { t_avg_s }
+    }
+
+    /// Rate λ = 1/t_avg (arrivals per second).
+    pub fn lambda(&self) -> f64 {
+        1.0 / self.t_avg_s
+    }
+
+    /// Draw the next inter-arrival interval (eq. 5), seconds.
+    pub fn next_interval(&self, rng: &mut Rng) -> f64 {
+        rng.exponential(self.lambda())
+    }
+
+    /// All arrival times in `[0, horizon_s)`, in ascending order.
+    pub fn arrivals_within(&self, rng: &mut Rng, horizon_s: f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity((horizon_s / self.t_avg_s * 1.2) as usize + 4);
+        let mut t = self.next_interval(rng);
+        while t < horizon_s {
+            out.push(t);
+            t += self.next_interval(rng);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_interval_matches_tavg() {
+        let p = PoissonArrivals::new(138.0); // Table IV average
+        let mut rng = Rng::new(1);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| p.next_interval(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 138.0).abs() < 3.0, "mean={mean}");
+    }
+
+    #[test]
+    fn count_in_day_near_expectation() {
+        let p = PoissonArrivals::new(55.0);
+        let mut rng = Rng::new(7);
+        let arr = p.arrivals_within(&mut rng, 86_400.0);
+        let expected = 86_400.0 / 55.0;
+        assert!(
+            (arr.len() as f64 - expected).abs() < 4.0 * expected.sqrt(),
+            "n={} expected≈{expected}",
+            arr.len()
+        );
+    }
+
+    #[test]
+    fn arrivals_sorted_and_in_range() {
+        let p = PoissonArrivals::new(100.0);
+        let mut rng = Rng::new(3);
+        let arr = p.arrivals_within(&mut rng, 10_000.0);
+        for w in arr.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(arr.iter().all(|&t| (0.0..10_000.0).contains(&t)));
+    }
+
+    #[test]
+    fn interval_variance_is_exponential() {
+        // For an exponential distribution the std equals the mean.
+        let p = PoissonArrivals::new(60.0);
+        let mut rng = Rng::new(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| p.next_interval(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((var.sqrt() - mean).abs() / mean < 0.03);
+    }
+}

@@ -1,0 +1,354 @@
+//! System configuration.
+//!
+//! Table I of the paper ("Component overview of the Frontier supercomputer")
+//! plus the generalisation of §V: "we determined to use a number of JSON
+//! files for input specification, to minimize the level of code changes
+//! that must be made to model a particular system". [`SystemConfig`] is
+//! that JSON schema; [`FrontierSpec`] is the built-in default matching
+//! Table I exactly.
+
+use serde::{Deserialize, Serialize};
+
+/// Frontier constants straight from Table I of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontierSpec;
+
+impl FrontierSpec {
+    /// Number of cooling distribution units.
+    pub const NUM_CDUS: usize = 25;
+    /// Compute racks served per CDU.
+    pub const RACKS_PER_CDU: usize = 3;
+    /// Total compute racks (the paper quotes 74 racks served by 25 CDUs;
+    /// 25 × 3 = 75 plumbing positions with one spare — we model the 74
+    /// populated racks and leave the last CDU with two racks).
+    pub const TOTAL_RACKS: usize = 74;
+    /// Chassis per rack.
+    pub const CHASSIS_PER_RACK: usize = 8;
+    /// Rectifiers per rack (4 per chassis).
+    pub const RECTIFIERS_PER_RACK: usize = 32;
+    /// Compute blades per rack.
+    pub const BLADES_PER_RACK: usize = 64;
+    /// Nodes per rack (two per blade).
+    pub const NODES_PER_RACK: usize = 128;
+    /// SIVOC DC-DC converters per rack.
+    pub const SIVOCS_PER_RACK: usize = 128;
+    /// Slingshot switches per rack.
+    pub const SWITCHES_PER_RACK: usize = 32;
+    /// Total compute nodes.
+    pub const TOTAL_NODES: usize = 9472;
+
+    /// GPU idle power, W.
+    pub const GPU_IDLE_W: f64 = 88.0;
+    /// GPU max power, W.
+    pub const GPU_MAX_W: f64 = 560.0;
+    /// CPU idle power, W.
+    pub const CPU_IDLE_W: f64 = 90.0;
+    /// CPU max power, W.
+    pub const CPU_MAX_W: f64 = 280.0;
+    /// Mean RAM power per node, W.
+    pub const RAM_AVG_W: f64 = 74.0;
+    /// Mean NVMe power (per device), W; two per node.
+    pub const NVME_EACH_W: f64 = 15.0;
+    /// Mean NIC power (per device), W; four per node.
+    pub const NIC_EACH_W: f64 = 20.0;
+    /// Mean switch power, W.
+    pub const SWITCH_AVG_W: f64 = 250.0;
+    /// Mean CDU pump power, W.
+    pub const CDU_AVG_W: f64 = 8_700.0;
+
+    /// GPUs per node.
+    pub const GPUS_PER_NODE: usize = 4;
+    /// NICs per node.
+    pub const NICS_PER_NODE: usize = 4;
+    /// NVMe devices per node.
+    pub const NVMES_PER_NODE: usize = 2;
+}
+
+/// One schedulable partition (§V: "multi-partition systems, such as
+/// Setonix, which have separate partitions for CPU-only nodes and CPU+GPU
+/// nodes").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PartitionConfig {
+    /// Partition name, e.g. `batch` or `gpu`.
+    pub name: String,
+    /// Number of nodes in the partition.
+    pub nodes: usize,
+    /// GPUs per node (0 for CPU-only partitions).
+    pub gpus_per_node: usize,
+}
+
+/// Per-component power envelope (Table I right column).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodePowerConfig {
+    /// CPU idle power, W.
+    pub cpu_idle_w: f64,
+    /// CPU max power, W.
+    pub cpu_max_w: f64,
+    /// GPU idle power, W.
+    pub gpu_idle_w: f64,
+    /// GPU max power, W.
+    pub gpu_max_w: f64,
+    /// Mean RAM power per node, W.
+    pub ram_w: f64,
+    /// Mean power of one NVMe device, W.
+    pub nvme_each_w: f64,
+    /// NVMe devices per node.
+    pub nvmes_per_node: usize,
+    /// Mean power of one NIC, W.
+    pub nic_each_w: f64,
+    /// NICs per node.
+    pub nics_per_node: usize,
+}
+
+/// Power-conversion chain parameters (Fig. 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConversionConfig {
+    /// Rectifiers per rack sharing the rack DC bus.
+    pub rectifiers_per_rack: usize,
+    /// Rectifier peak efficiency (paper: 96.3 %).
+    pub rectifier_peak_efficiency: f64,
+    /// Per-rectifier output power at peak efficiency, W (paper: 7.5 kW).
+    pub rectifier_optimal_load_w: f64,
+    /// Efficiency droop coefficient below the optimum, 1/W².
+    pub rectifier_droop_low: f64,
+    /// Efficiency droop coefficient above the optimum, 1/W².
+    pub rectifier_droop_high: f64,
+    /// SIVOC efficiency at full load (paper: ~0.98).
+    pub sivoc_full_load_efficiency: f64,
+    /// SIVOC efficiency droop at idle (subtracted fraction at zero load).
+    pub sivoc_idle_droop: f64,
+    /// SIVOC load at which full-load efficiency is reached, W.
+    pub sivoc_full_load_w: f64,
+    /// Efficiency of direct 380 V DC distribution replacing rectification
+    /// in the what-if variant.
+    pub dc380_distribution_efficiency: f64,
+}
+
+impl Default for ConversionConfig {
+    fn default() -> Self {
+        // Calibrated so Table III reproduces: idle 7.24 MW, HPL 22.3 MW,
+        // peak 28.2 MW (see DESIGN.md §5 for the derivation).
+        ConversionConfig {
+            rectifiers_per_rack: FrontierSpec::RECTIFIERS_PER_RACK,
+            rectifier_peak_efficiency: 0.963,
+            rectifier_optimal_load_w: 7_500.0,
+            rectifier_droop_low: 6.72e-4 / 1e6,  // per W²
+            rectifier_droop_high: 8.08e-4 / 1e6, // per W²
+            sivoc_full_load_efficiency: 0.98,
+            sivoc_idle_droop: 0.008,
+            sivoc_full_load_w: 2_000.0,
+            dc380_distribution_efficiency: 0.993,
+        }
+    }
+}
+
+/// Rack-level layout.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RackConfig {
+    /// Nodes per rack.
+    pub nodes_per_rack: usize,
+    /// Network switches per rack.
+    pub switches_per_rack: usize,
+    /// Mean switch power, W.
+    pub switch_power_w: f64,
+}
+
+/// Cooling-interface parameters used on the RAPS side of the FMI boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoolingInterfaceConfig {
+    /// Number of CDUs (power aggregation groups fed to the cooling model).
+    pub num_cdus: usize,
+    /// Racks per CDU.
+    pub racks_per_cdu: usize,
+    /// Constant CDU pump power, W (paper: 8.7 kW).
+    pub cdu_pump_power_w: f64,
+    /// Fraction of rack power appearing as heat in the liquid loop
+    /// (paper: 0.945, computed from telemetry as heat removed / power).
+    pub cooling_efficiency: f64,
+}
+
+/// Economics and emissions constants (§III-B5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostConfig {
+    /// Electricity price, USD per MWh. The paper never states the tariff;
+    /// 90 $/MWh makes its "1.14 MW average loss ≈ $900k/yr" hold.
+    pub usd_per_mwh: f64,
+    /// Emission intensity, lbs CO₂ per MWh (paper: 852.3, EPA eGRID).
+    pub emission_lbs_per_mwh: f64,
+}
+
+impl Default for CostConfig {
+    fn default() -> Self {
+        CostConfig { usd_per_mwh: 90.0, emission_lbs_per_mwh: 852.3 }
+    }
+}
+
+/// The full system configuration — the JSON schema of §V.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// System name, e.g. `frontier`.
+    pub name: String,
+    /// Schedulable partitions.
+    pub partitions: Vec<PartitionConfig>,
+    /// Rack layout.
+    pub rack: RackConfig,
+    /// Node power envelope.
+    pub node_power: NodePowerConfig,
+    /// Conversion chain.
+    pub conversion: ConversionConfig,
+    /// Cooling interface.
+    pub cooling: CoolingInterfaceConfig,
+    /// Costs and emissions.
+    pub costs: CostConfig,
+}
+
+impl SystemConfig {
+    /// The built-in Frontier description (Table I).
+    pub fn frontier() -> Self {
+        SystemConfig {
+            name: "frontier".to_string(),
+            partitions: vec![PartitionConfig {
+                name: "batch".to_string(),
+                nodes: FrontierSpec::TOTAL_NODES,
+                gpus_per_node: FrontierSpec::GPUS_PER_NODE,
+            }],
+            rack: RackConfig {
+                nodes_per_rack: FrontierSpec::NODES_PER_RACK,
+                switches_per_rack: FrontierSpec::SWITCHES_PER_RACK,
+                switch_power_w: FrontierSpec::SWITCH_AVG_W,
+            },
+            node_power: NodePowerConfig {
+                cpu_idle_w: FrontierSpec::CPU_IDLE_W,
+                cpu_max_w: FrontierSpec::CPU_MAX_W,
+                gpu_idle_w: FrontierSpec::GPU_IDLE_W,
+                gpu_max_w: FrontierSpec::GPU_MAX_W,
+                ram_w: FrontierSpec::RAM_AVG_W,
+                nvme_each_w: FrontierSpec::NVME_EACH_W,
+                nvmes_per_node: FrontierSpec::NVMES_PER_NODE,
+                nic_each_w: FrontierSpec::NIC_EACH_W,
+                nics_per_node: FrontierSpec::NICS_PER_NODE,
+            },
+            conversion: ConversionConfig::default(),
+            cooling: CoolingInterfaceConfig {
+                num_cdus: FrontierSpec::NUM_CDUS,
+                racks_per_cdu: FrontierSpec::RACKS_PER_CDU,
+                cdu_pump_power_w: FrontierSpec::CDU_AVG_W,
+                cooling_efficiency: 0.945,
+            },
+            costs: CostConfig::default(),
+        }
+    }
+
+    /// A Setonix-like multi-partition system (§V): CPU-only plus GPU
+    /// partitions sharing one scheduler.
+    pub fn setonix_like() -> Self {
+        let mut cfg = SystemConfig::frontier();
+        cfg.name = "setonix-like".to_string();
+        cfg.partitions = vec![
+            PartitionConfig { name: "work".to_string(), nodes: 1_592, gpus_per_node: 0 },
+            PartitionConfig { name: "gpu".to_string(), nodes: 192, gpus_per_node: 8 },
+        ];
+        cfg.cooling.num_cdus = 8;
+        cfg.cooling.racks_per_cdu = 2;
+        cfg
+    }
+
+    /// A Marconi100-like system (§V / PM100 dataset): ~980 nodes, 4 GPUs.
+    pub fn marconi100_like() -> Self {
+        let mut cfg = SystemConfig::frontier();
+        cfg.name = "marconi100-like".to_string();
+        cfg.partitions =
+            vec![PartitionConfig { name: "m100".to_string(), nodes: 980, gpus_per_node: 4 }];
+        cfg.rack.nodes_per_rack = 20;
+        cfg.cooling.num_cdus = 5;
+        cfg.cooling.racks_per_cdu = 10;
+        cfg
+    }
+
+    /// Total nodes across partitions.
+    pub fn total_nodes(&self) -> usize {
+        self.partitions.iter().map(|p| p.nodes).sum()
+    }
+
+    /// Total racks (ceiling of nodes over rack capacity).
+    pub fn total_racks(&self) -> usize {
+        self.total_nodes().div_ceil(self.rack.nodes_per_rack)
+    }
+
+    /// Serialise to pretty JSON (the §V exchange format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("config serialises")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_constants() {
+        // The component-overview rows of Table I.
+        assert_eq!(FrontierSpec::NUM_CDUS, 25);
+        assert_eq!(FrontierSpec::RACKS_PER_CDU, 3);
+        assert_eq!(FrontierSpec::CHASSIS_PER_RACK, 8);
+        assert_eq!(FrontierSpec::RECTIFIERS_PER_RACK, 32);
+        assert_eq!(FrontierSpec::BLADES_PER_RACK, 64);
+        assert_eq!(FrontierSpec::NODES_PER_RACK, 128);
+        assert_eq!(FrontierSpec::SIVOCS_PER_RACK, 128);
+        assert_eq!(FrontierSpec::SWITCHES_PER_RACK, 32);
+        assert_eq!(FrontierSpec::TOTAL_NODES, 9472);
+    }
+
+    #[test]
+    fn frontier_rack_math_consistent() {
+        // 9472 nodes over 128-node racks = 74 racks.
+        let cfg = SystemConfig::frontier();
+        assert_eq!(cfg.total_racks(), 74);
+        assert_eq!(cfg.total_nodes(), 9472);
+    }
+
+    #[test]
+    fn node_idle_and_peak_powers() {
+        // Idle: 90 + 4·88 + 4·20 + 74 + 2·15 = 626 W.
+        // Peak: 280 + 4·560 + 4·20 + 74 + 2·15 = 2704 W.
+        let p = SystemConfig::frontier().node_power;
+        let idle = p.cpu_idle_w
+            + 4.0 * p.gpu_idle_w
+            + p.nics_per_node as f64 * p.nic_each_w
+            + p.ram_w
+            + p.nvmes_per_node as f64 * p.nvme_each_w;
+        let peak = p.cpu_max_w
+            + 4.0 * p.gpu_max_w
+            + p.nics_per_node as f64 * p.nic_each_w
+            + p.ram_w
+            + p.nvmes_per_node as f64 * p.nvme_each_w;
+        assert_eq!(idle, 626.0);
+        assert_eq!(peak, 2704.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let cfg = SystemConfig::frontier();
+        let json = cfg.to_json();
+        let back = SystemConfig::from_json(&json).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn setonix_like_is_multi_partition() {
+        let cfg = SystemConfig::setonix_like();
+        assert_eq!(cfg.partitions.len(), 2);
+        assert_eq!(cfg.partitions[0].gpus_per_node, 0);
+        assert!(cfg.partitions[1].gpus_per_node > 0);
+    }
+
+    #[test]
+    fn invalid_json_rejected() {
+        assert!(SystemConfig::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! Jobs and utilization traces.
+//!
+//! §III-B of the paper: "each job is characterized by: (1) the number of
+//! nodes required, (2) the wall time, and (3) CPU/GPU utilization traces
+//! for a given trace quanta" (set to 15 s to match telemetry).
+
+use serde::{Deserialize, Serialize};
+
+/// Unique job identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+/// Lifecycle of a job in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Submitted, waiting for nodes.
+    Pending,
+    /// Allocated and consuming power.
+    Running,
+    /// Finished; nodes released.
+    Completed,
+}
+
+/// A CPU or GPU utilization trace sampled at a fixed trace quantum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum UtilTrace {
+    /// Constant utilization for the whole job (synthetic jobs).
+    Constant(f32),
+    /// Time-indexed samples at `quantum_s` resolution (telemetry replay).
+    Series {
+        /// Sample period, seconds (paper: 15).
+        quantum_s: u32,
+        /// Utilization samples in `[0, 1]`.
+        values: Vec<f32>,
+    },
+}
+
+impl UtilTrace {
+    /// Utilization at `elapsed_s` seconds into the job, clamped to `[0,1]`.
+    /// Series traces hold their last value beyond the end (jobs can run
+    /// slightly past the recorded trace).
+    pub fn at(&self, elapsed_s: u64) -> f64 {
+        let v = match self {
+            UtilTrace::Constant(u) => *u,
+            UtilTrace::Series { quantum_s, values } => {
+                if values.is_empty() {
+                    0.0
+                } else {
+                    let idx = (elapsed_s / *quantum_s as u64) as usize;
+                    values[idx.min(values.len() - 1)]
+                }
+            }
+        };
+        (v as f64).clamp(0.0, 1.0)
+    }
+
+    /// Mean utilization across the trace.
+    pub fn mean(&self) -> f64 {
+        match self {
+            UtilTrace::Constant(u) => (*u as f64).clamp(0.0, 1.0),
+            UtilTrace::Series { values, .. } => {
+                if values.is_empty() {
+                    0.0
+                } else {
+                    values.iter().map(|&v| (v as f64).clamp(0.0, 1.0)).sum::<f64>()
+                        / values.len() as f64
+                }
+            }
+        }
+    }
+}
+
+/// One job: the unit RAPS schedules and accounts power for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Identifier.
+    pub id: JobId,
+    /// Display name (e.g. `hpl-9216` or `synthetic-1042`).
+    pub name: String,
+    /// Nodes required.
+    pub nodes: usize,
+    /// Requested wall time, seconds.
+    pub wall_time_s: u64,
+    /// Submission time, seconds from simulation start.
+    pub submit_time_s: u64,
+    /// Target partition (index into `SystemConfig::partitions`).
+    pub partition: usize,
+    /// CPU utilization trace.
+    pub cpu_util: UtilTrace,
+    /// GPU utilization trace.
+    pub gpu_util: UtilTrace,
+    /// Current state.
+    pub state: JobState,
+    /// Start time once running, seconds.
+    pub start_time_s: Option<u64>,
+    /// End time once completed, seconds.
+    pub end_time_s: Option<u64>,
+}
+
+impl Job {
+    /// A new pending job with constant utilizations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        id: u64,
+        name: impl Into<String>,
+        nodes: usize,
+        wall_time_s: u64,
+        submit_time_s: u64,
+        cpu_util: f32,
+        gpu_util: f32,
+    ) -> Self {
+        Job {
+            id: JobId(id),
+            name: name.into(),
+            nodes,
+            wall_time_s,
+            submit_time_s,
+            partition: 0,
+            cpu_util: UtilTrace::Constant(cpu_util),
+            gpu_util: UtilTrace::Constant(gpu_util),
+            state: JobState::Pending,
+            start_time_s: None,
+            end_time_s: None,
+        }
+    }
+
+    /// Seconds the job has been running at absolute time `now_s`
+    /// (zero when not yet started).
+    pub fn elapsed_at(&self, now_s: u64) -> u64 {
+        match self.start_time_s {
+            Some(start) => now_s.saturating_sub(start),
+            None => 0,
+        }
+    }
+
+    /// True when the job should complete at or before `now_s`.
+    pub fn is_due(&self, now_s: u64) -> bool {
+        match self.start_time_s {
+            Some(start) => now_s >= start + self.wall_time_s,
+            None => false,
+        }
+    }
+
+    /// Queue wait (start − submit) once started.
+    pub fn wait_time_s(&self) -> Option<u64> {
+        self.start_time_s.map(|s| s.saturating_sub(self.submit_time_s))
+    }
+
+    /// Node-seconds consumed (for utilization accounting).
+    pub fn node_seconds(&self) -> u64 {
+        self.nodes as u64 * self.wall_time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_trace_clamps() {
+        assert_eq!(UtilTrace::Constant(1.5).at(0), 1.0);
+        assert_eq!(UtilTrace::Constant(-0.5).at(100), 0.0);
+        assert_eq!(UtilTrace::Constant(0.79).at(42), 0.79f32 as f64);
+    }
+
+    #[test]
+    fn series_trace_indexes_by_quantum() {
+        let t = UtilTrace::Series { quantum_s: 15, values: vec![0.1, 0.5, 0.9] };
+        assert_eq!(t.at(0), 0.1f32 as f64);
+        assert_eq!(t.at(14), 0.1f32 as f64);
+        assert_eq!(t.at(15), 0.5f32 as f64);
+        assert_eq!(t.at(44), 0.9f32 as f64);
+        // Holds the last value beyond the end.
+        assert_eq!(t.at(10_000), 0.9f32 as f64);
+    }
+
+    #[test]
+    fn empty_series_is_zero() {
+        let t = UtilTrace::Series { quantum_s: 15, values: vec![] };
+        assert_eq!(t.at(0), 0.0);
+        assert_eq!(t.mean(), 0.0);
+    }
+
+    #[test]
+    fn mean_of_series() {
+        let t = UtilTrace::Series { quantum_s: 15, values: vec![0.0, 1.0] };
+        assert!((t.mean() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn job_lifecycle_accessors() {
+        let mut j = Job::new(1, "test", 16, 3600, 100, 0.3, 0.8);
+        assert_eq!(j.state, JobState::Pending);
+        assert!(!j.is_due(1_000_000));
+        j.start_time_s = Some(200);
+        j.state = JobState::Running;
+        assert_eq!(j.elapsed_at(500), 300);
+        assert!(!j.is_due(200 + 3599));
+        assert!(j.is_due(200 + 3600));
+        assert_eq!(j.wait_time_s(), Some(100));
+        assert_eq!(j.node_seconds(), 16 * 3600);
+    }
+}

@@ -1,0 +1,436 @@
+//! Node pool and scheduling policies.
+//!
+//! §III-B4 of the paper: "Jobs are scheduled according to a given policy,
+//! such as Shortest Job First (SJF) or First Come First Served (FCFS),
+//! with plans to soon implement more sophisticated algorithms". We provide
+//! both paper policies, the literal Algorithm 1 semantics (first-fit in
+//! queue order), and EASY backfill as the promised sophisticated variant.
+//! Multi-partition allocation (§V, Setonix-style) is supported by giving
+//! every partition its own free pool.
+
+use crate::config::SystemConfig;
+use crate::job::Job;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Policy {
+    /// First come, first served with head-of-line blocking (per partition).
+    Fcfs,
+    /// Shortest (requested wall time) job first.
+    Sjf,
+    /// The literal Algorithm 1 loop: walk the queue in order, start
+    /// whatever fits ("else add to pending queue").
+    #[default]
+    FirstFit,
+    /// EASY backfill: FCFS order with a reservation for the head job;
+    /// later jobs may jump ahead only if they cannot delay it.
+    EasyBackfill,
+}
+
+/// Range of node ids belonging to one partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PartitionRange {
+    start: u32,
+    len: u32,
+}
+
+/// Free-node bookkeeping for every partition.
+#[derive(Debug, Clone)]
+pub struct NodePool {
+    ranges: Vec<PartitionRange>,
+    free: Vec<BTreeSet<u32>>,
+}
+
+impl NodePool {
+    /// Pool covering all partitions of `cfg`, all nodes free. Node ids are
+    /// global and contiguous across partitions in declaration order.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        let mut ranges = Vec::with_capacity(cfg.partitions.len());
+        let mut free = Vec::with_capacity(cfg.partitions.len());
+        let mut next = 0u32;
+        for p in &cfg.partitions {
+            let len = p.nodes as u32;
+            ranges.push(PartitionRange { start: next, len });
+            free.push((next..next + len).collect());
+            next += len;
+        }
+        NodePool { ranges, free }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total nodes in a partition.
+    pub fn capacity(&self, partition: usize) -> usize {
+        self.ranges[partition].len as usize
+    }
+
+    /// Free nodes in a partition.
+    pub fn available(&self, partition: usize) -> usize {
+        self.free[partition].len()
+    }
+
+    /// Total free nodes across partitions.
+    pub fn available_total(&self) -> usize {
+        self.free.iter().map(|f| f.len()).sum()
+    }
+
+    /// Allocate `n` nodes from a partition (lowest ids first). Returns
+    /// `None` without side effects when not enough nodes are free.
+    pub fn allocate(&mut self, partition: usize, n: usize) -> Option<Vec<u32>> {
+        let free = &mut self.free[partition];
+        if free.len() < n {
+            return None;
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            // BTreeSet keeps ascending order; pop the smallest.
+            let id = *free.iter().next().expect("checked length");
+            free.remove(&id);
+            out.push(id);
+        }
+        Some(out)
+    }
+
+    /// Release nodes back to their partition. Panics on double-free (a
+    /// scheduler invariant violation we want loudly).
+    pub fn release(&mut self, partition: usize, nodes: &[u32]) {
+        let range = self.ranges[partition];
+        for &id in nodes {
+            assert!(
+                id >= range.start && id < range.start + range.len,
+                "node {id} not in partition {partition}"
+            );
+            let inserted = self.free[partition].insert(id);
+            assert!(inserted, "double release of node {id}");
+        }
+    }
+}
+
+/// A job start decision: which pending job (by index) got which nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleDecision {
+    /// Index into the pending slice handed to [`schedule_jobs`].
+    pub job_index: usize,
+    /// Allocated node ids.
+    pub nodes: Vec<u32>,
+}
+
+/// Expected release of a running job, used for backfill reservations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunningRelease {
+    /// Expected end time, seconds.
+    pub end_time_s: u64,
+    /// Partition the nodes return to.
+    pub partition: usize,
+    /// Node count released.
+    pub nodes: usize,
+}
+
+/// Run one scheduling pass over `pending` (in queue order) against the
+/// pool. Decisions allocate immediately; the caller starts the selected
+/// jobs and removes them from its queue.
+pub fn schedule_jobs(
+    policy: Policy,
+    pending: &[Job],
+    pool: &mut NodePool,
+    now_s: u64,
+    running: &[RunningRelease],
+) -> Vec<ScheduleDecision> {
+    match policy {
+        Policy::FirstFit => first_fit(pending, pool),
+        Policy::Fcfs => fcfs(pending, pool),
+        Policy::Sjf => sjf(pending, pool),
+        Policy::EasyBackfill => easy_backfill(pending, pool, now_s, running),
+    }
+}
+
+fn first_fit(pending: &[Job], pool: &mut NodePool) -> Vec<ScheduleDecision> {
+    let mut out = Vec::new();
+    for (i, job) in pending.iter().enumerate() {
+        if let Some(nodes) = pool.allocate(job.partition, job.nodes) {
+            out.push(ScheduleDecision { job_index: i, nodes });
+        }
+    }
+    out
+}
+
+fn fcfs(pending: &[Job], pool: &mut NodePool) -> Vec<ScheduleDecision> {
+    let mut out = Vec::new();
+    let mut blocked = vec![false; pool.partitions()];
+    for (i, job) in pending.iter().enumerate() {
+        if blocked[job.partition] {
+            continue;
+        }
+        match pool.allocate(job.partition, job.nodes) {
+            Some(nodes) => out.push(ScheduleDecision { job_index: i, nodes }),
+            None => blocked[job.partition] = true,
+        }
+    }
+    out
+}
+
+fn sjf(pending: &[Job], pool: &mut NodePool) -> Vec<ScheduleDecision> {
+    let mut order: Vec<usize> = (0..pending.len()).collect();
+    // Shortest requested wall time first; ties broken by queue order so
+    // the sort stays deterministic.
+    order.sort_by_key(|&i| (pending[i].wall_time_s, i));
+    let mut out = Vec::new();
+    for i in order {
+        let job = &pending[i];
+        if let Some(nodes) = pool.allocate(job.partition, job.nodes) {
+            out.push(ScheduleDecision { job_index: i, nodes });
+        }
+    }
+    out.sort_by_key(|d| d.job_index);
+    out
+}
+
+fn easy_backfill(
+    pending: &[Job],
+    pool: &mut NodePool,
+    now_s: u64,
+    running: &[RunningRelease],
+) -> Vec<ScheduleDecision> {
+    let mut out = Vec::new();
+    // Per-partition head state: None until a job fails to fit.
+    // shadow[p] = (reservation start time, spare nodes usable by backfill).
+    let mut shadow: Vec<Option<(u64, usize)>> = vec![None; pool.partitions()];
+
+    // Pre-sort expected releases per partition by end time.
+    let mut releases: Vec<Vec<RunningRelease>> = vec![Vec::new(); pool.partitions()];
+    for r in running {
+        releases[r.partition].push(*r);
+    }
+    for rel in &mut releases {
+        rel.sort_by_key(|r| r.end_time_s);
+    }
+
+    for (i, job) in pending.iter().enumerate() {
+        let p = job.partition;
+        match shadow[p] {
+            None => {
+                if let Some(nodes) = pool.allocate(p, job.nodes) {
+                    out.push(ScheduleDecision { job_index: i, nodes });
+                } else {
+                    // Head job can't start: compute its reservation.
+                    let mut free = pool.available(p);
+                    let mut shadow_time = u64::MAX;
+                    for r in &releases[p] {
+                        free += r.nodes;
+                        if free >= job.nodes {
+                            shadow_time = r.end_time_s;
+                            break;
+                        }
+                    }
+                    // Spare nodes at the shadow time: what remains after the
+                    // head job takes its share of the accumulated frees.
+                    let spare = free.saturating_sub(job.nodes);
+                    shadow[p] = Some((shadow_time, spare));
+                }
+            }
+            Some((shadow_time, spare)) => {
+                // Backfill rule: start only if it finishes before the
+                // reservation, or if it is small enough to never collide
+                // with the head job's allocation.
+                let fits_now = pool.available(p) >= job.nodes;
+                if !fits_now {
+                    continue;
+                }
+                let ends_before = now_s + job.wall_time_s <= shadow_time;
+                let within_spare = job.nodes <= spare;
+                if ends_before || within_spare {
+                    if let Some(nodes) = pool.allocate(p, job.nodes) {
+                        out.push(ScheduleDecision { job_index: i, nodes });
+                        if !ends_before {
+                            // Consumed part of the spare pool.
+                            shadow[p] = Some((shadow_time, spare - job.nodes));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PartitionConfig, SystemConfig};
+
+    fn small_config(nodes: usize) -> SystemConfig {
+        let mut cfg = SystemConfig::frontier();
+        cfg.partitions =
+            vec![PartitionConfig { name: "batch".into(), nodes, gpus_per_node: 4 }];
+        cfg
+    }
+
+    fn job(id: u64, nodes: usize, wall: u64) -> Job {
+        Job::new(id, format!("j{id}"), nodes, wall, 0, 0.5, 0.5)
+    }
+
+    #[test]
+    fn pool_allocates_ascending_and_releases() {
+        let cfg = small_config(16);
+        let mut pool = NodePool::new(&cfg);
+        let a = pool.allocate(0, 4).unwrap();
+        assert_eq!(a, vec![0, 1, 2, 3]);
+        assert_eq!(pool.available(0), 12);
+        pool.release(0, &a);
+        assert_eq!(pool.available(0), 16);
+    }
+
+    #[test]
+    fn pool_refuses_oversubscription() {
+        let cfg = small_config(8);
+        let mut pool = NodePool::new(&cfg);
+        assert!(pool.allocate(0, 9).is_none());
+        assert_eq!(pool.available(0), 8, "failed alloc must not leak");
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn pool_panics_on_double_free() {
+        let cfg = small_config(8);
+        let mut pool = NodePool::new(&cfg);
+        let a = pool.allocate(0, 2).unwrap();
+        pool.release(0, &a);
+        pool.release(0, &a);
+    }
+
+    #[test]
+    fn fcfs_blocks_behind_big_head() {
+        let cfg = small_config(10);
+        let mut pool = NodePool::new(&cfg);
+        // Head job wants 20 (> capacity free after the first), second fits.
+        let pending = vec![job(1, 8, 100), job(2, 20, 100), job(3, 2, 100)];
+        let d = schedule_jobs(Policy::Fcfs, &pending, &mut pool, 0, &[]);
+        // Job 1 starts; job 2 blocks; job 3 must NOT start under FCFS.
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].job_index, 0);
+    }
+
+    #[test]
+    fn first_fit_skips_blocked_jobs() {
+        let cfg = small_config(10);
+        let mut pool = NodePool::new(&cfg);
+        let pending = vec![job(1, 8, 100), job(2, 20, 100), job(3, 2, 100)];
+        let d = schedule_jobs(Policy::FirstFit, &pending, &mut pool, 0, &[]);
+        let idx: Vec<usize> = d.iter().map(|x| x.job_index).collect();
+        assert_eq!(idx, vec![0, 2]);
+    }
+
+    #[test]
+    fn sjf_prefers_short_jobs() {
+        let cfg = small_config(8);
+        let mut pool = NodePool::new(&cfg);
+        // Only one can fit at a time: the shortest wall time wins.
+        let pending = vec![job(1, 8, 500), job(2, 8, 100)];
+        let d = schedule_jobs(Policy::Sjf, &pending, &mut pool, 0, &[]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].job_index, 1);
+    }
+
+    #[test]
+    fn backfill_starts_small_job_that_ends_before_reservation() {
+        let cfg = small_config(10);
+        let mut pool = NodePool::new(&cfg);
+        // 6 nodes busy until t=1000; 4 free.
+        let busy = pool.allocate(0, 6).unwrap();
+        assert_eq!(busy.len(), 6);
+        let running = [RunningRelease { end_time_s: 1000, partition: 0, nodes: 6 }];
+        // Head wants 8 (must wait until t=1000); backfill candidate wants
+        // 4 for 500 s (ends at 500 < 1000): allowed.
+        let pending = vec![job(1, 8, 400), job(2, 4, 500)];
+        let d = schedule_jobs(Policy::EasyBackfill, &pending, &mut pool, 0, &running);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].job_index, 1);
+    }
+
+    #[test]
+    fn backfill_refuses_job_that_would_delay_head() {
+        let cfg = small_config(10);
+        let mut pool = NodePool::new(&cfg);
+        let _busy = pool.allocate(0, 6).unwrap();
+        let running = [RunningRelease { end_time_s: 1000, partition: 0, nodes: 6 }];
+        // Backfill candidate runs 2000 s (past the reservation) and needs
+        // 4 nodes; spare at shadow = (4 free + 6 released) - 8 = 2 < 4:
+        // must NOT start.
+        let pending = vec![job(1, 8, 400), job(2, 4, 2000)];
+        let d = schedule_jobs(Policy::EasyBackfill, &pending, &mut pool, 0, &running);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn backfill_allows_long_job_within_spare() {
+        let cfg = small_config(10);
+        let mut pool = NodePool::new(&cfg);
+        let _busy = pool.allocate(0, 6).unwrap();
+        let running = [RunningRelease { end_time_s: 1000, partition: 0, nodes: 6 }];
+        // Spare at shadow = 10 - 8 = 2: a 2-node job may run arbitrarily
+        // long without delaying the head.
+        let pending = vec![job(1, 8, 400), job(2, 2, 100_000)];
+        let d = schedule_jobs(Policy::EasyBackfill, &pending, &mut pool, 0, &running);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].job_index, 1);
+    }
+
+    #[test]
+    fn multi_partition_pools_are_independent() {
+        let mut cfg = SystemConfig::frontier();
+        cfg.partitions = vec![
+            PartitionConfig { name: "work".into(), nodes: 4, gpus_per_node: 0 },
+            PartitionConfig { name: "gpu".into(), nodes: 4, gpus_per_node: 8 },
+        ];
+        let mut pool = NodePool::new(&cfg);
+        let a = pool.allocate(0, 4).unwrap();
+        assert_eq!(pool.available(0), 0);
+        assert_eq!(pool.available(1), 4);
+        // Node ids are globally unique across partitions.
+        let b = pool.allocate(1, 4).unwrap();
+        assert!(a.iter().all(|id| !b.contains(id)));
+        // FCFS blocking in partition 0 must not block partition 1.
+        let mut j0 = job(1, 1, 100);
+        j0.partition = 0;
+        let mut j1 = job(2, 2, 100);
+        j1.partition = 1;
+        pool.release(1, &b);
+        let d = schedule_jobs(Policy::Fcfs, &[j0, j1], &mut pool, 0, &[]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].job_index, 1);
+    }
+
+    #[test]
+    fn no_node_double_allocated_across_many_ops() {
+        let cfg = small_config(64);
+        let mut pool = NodePool::new(&cfg);
+        let mut rng = exadigit_sim::Rng::new(99);
+        let mut held: Vec<Vec<u32>> = Vec::new();
+        for _ in 0..500 {
+            if rng.chance(0.6) {
+                let n = 1 + rng.uniform_usize(16);
+                if let Some(nodes) = pool.allocate(0, n) {
+                    held.push(nodes);
+                }
+            } else if !held.is_empty() {
+                let i = rng.uniform_usize(held.len());
+                let nodes = held.swap_remove(i);
+                pool.release(0, &nodes);
+            }
+            // Invariant: held + free = capacity, no overlaps.
+            let held_count: usize = held.iter().map(|h| h.len()).sum();
+            assert_eq!(held_count + pool.available(0), 64);
+            let mut seen = std::collections::HashSet::new();
+            for h in &held {
+                for &id in h {
+                    assert!(seen.insert(id), "node {id} double-allocated");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,614 @@
+//! The RAPS simulation loop — Algorithm 1 of the paper.
+//!
+//! `RUNSIMULATION` advances time one second at a time: newly arriving jobs
+//! join the pending queue, `SCHEDULEJOBS` starts whatever the policy
+//! admits, and `TICK` releases completed jobs, recomputes power, applies
+//! rectification and conversion losses, and — every 15 s — calls the
+//! cooling model across the FMI boundary and refreshes the UI/outputs.
+//!
+//! Performance note (the paper replays a 24 h day in ~3 minutes without
+//! cooling): node power only changes on job start/stop events or at the
+//! 15 s trace quantum, so the full power recompute runs at most every 15 s
+//! plus once per event, not every simulated second.
+
+use crate::config::SystemConfig;
+use crate::job::{Job, JobState};
+use crate::power::{PowerAccumulator, PowerDelivery, PowerModel, PowerSnapshot};
+use crate::scheduler::{schedule_jobs, NodePool, Policy, RunningRelease};
+use crate::stats::RunReport;
+use exadigit_sim::fmi::{CoSimModel, FmiError, VarRef};
+use exadigit_sim::{SimClock, TimeSeries, Welford};
+use std::collections::VecDeque;
+
+/// Trace quantum and cooling-model period, seconds (§III-B of the paper).
+pub const COOLING_PERIOD_S: u64 = 15;
+
+/// Names used to resolve the cooling model's variables at attach time.
+/// Any [`CoSimModel`] exposing these is accepted — the §V generalisation.
+pub mod cooling_vars {
+    /// Heat input of CDU `i` (1-based), W: `cdu_heat[i]`.
+    pub fn cdu_heat(i: usize) -> String {
+        format!("cdu_heat[{i}]")
+    }
+    /// Outdoor wet-bulb temperature input, °C.
+    pub const WET_BULB: &str = "wet_bulb";
+    /// Total IT (system) power input for the PUE sub-module, W.
+    pub const IT_POWER: &str = "it_power";
+    /// Power usage effectiveness output.
+    pub const PUE: &str = "pue";
+    /// Total cooling auxiliary power output, W.
+    pub const COOLING_POWER: &str = "cooling_power";
+}
+
+/// RAPS's handle on a cooling model: the FMU import of §III-C6.
+pub struct CoolingCoupling {
+    /// The model behind the FMI boundary.
+    pub model: Box<dyn CoSimModel>,
+    cdu_inputs: Vec<VarRef>,
+    wet_bulb_input: VarRef,
+    it_power_input: Option<VarRef>,
+    pue_output: Option<VarRef>,
+    cooling_power_output: Option<VarRef>,
+}
+
+impl CoolingCoupling {
+    /// Resolve the variable names and wrap the model. Fails when the model
+    /// does not expose `num_cdus` heat inputs or the wet-bulb input.
+    pub fn attach(model: Box<dyn CoSimModel>, num_cdus: usize) -> Result<Self, String> {
+        let mut cdu_inputs = Vec::with_capacity(num_cdus);
+        for i in 1..=num_cdus {
+            let name = cooling_vars::cdu_heat(i);
+            let var = model
+                .var_by_name(&name)
+                .ok_or_else(|| format!("cooling model lacks input {name}"))?;
+            cdu_inputs.push(var.vr);
+        }
+        let wet_bulb_input = model
+            .var_by_name(cooling_vars::WET_BULB)
+            .ok_or_else(|| "cooling model lacks wet_bulb input".to_string())?
+            .vr;
+        let it_power_input = model.var_by_name(cooling_vars::IT_POWER).map(|v| v.vr);
+        let pue_output = model.var_by_name(cooling_vars::PUE).map(|v| v.vr);
+        let cooling_power_output = model.var_by_name(cooling_vars::COOLING_POWER).map(|v| v.vr);
+        Ok(CoolingCoupling {
+            model,
+            cdu_inputs,
+            wet_bulb_input,
+            it_power_input,
+            pue_output,
+            cooling_power_output,
+        })
+    }
+}
+
+/// Recorded simulation outputs.
+#[derive(Debug, Clone)]
+pub struct SimOutputs {
+    /// System power, W, sampled every `record_every_s`.
+    pub system_power_w: TimeSeries,
+    /// Conversion loss, W, same cadence.
+    pub loss_w: TimeSeries,
+    /// Node-allocation utilization in [0,1], same cadence.
+    pub utilization: TimeSeries,
+    /// Conversion efficiency η_system, same cadence.
+    pub efficiency: TimeSeries,
+    /// PUE at the cooling cadence (empty without cooling).
+    pub pue: TimeSeries,
+    /// Welford accumulators for the run report.
+    pub power_stats: Welford,
+    /// Loss accumulator.
+    pub loss_stats: Welford,
+    /// Utilization accumulator.
+    pub util_stats: Welford,
+    /// PUE accumulator.
+    pub pue_stats: Welford,
+    /// Efficiency accumulator.
+    pub eff_stats: Welford,
+    /// Queue-wait accumulator (completed jobs).
+    pub wait_stats: Welford,
+    /// Total energy, joules (1 s trapezoid-free accumulation).
+    pub energy_j: f64,
+}
+
+impl SimOutputs {
+    fn new(record_every_s: u64) -> Self {
+        let dt = record_every_s as f64;
+        SimOutputs {
+            system_power_w: TimeSeries::new(0.0, dt),
+            loss_w: TimeSeries::new(0.0, dt),
+            utilization: TimeSeries::new(0.0, dt),
+            efficiency: TimeSeries::new(0.0, dt),
+            pue: TimeSeries::new(0.0, COOLING_PERIOD_S as f64),
+            power_stats: Welford::new(),
+            loss_stats: Welford::new(),
+            util_stats: Welford::new(),
+            pue_stats: Welford::new(),
+            eff_stats: Welford::new(),
+            wait_stats: Welford::new(),
+            energy_j: 0.0,
+        }
+    }
+}
+
+/// A running job plus its allocation, with per-rack node counts cached so
+/// each power recompute is O(racks touched), not O(nodes).
+struct RunningJob {
+    job: Job,
+    nodes: Vec<u32>,
+    /// (rack index, node count) pairs.
+    rack_counts: Vec<(u32, u32)>,
+    gpus_per_node: usize,
+}
+
+/// The RAPS simulator.
+pub struct RapsSimulation {
+    cfg: SystemConfig,
+    model: PowerModel,
+    policy: Policy,
+    pool: NodePool,
+    /// Jobs not yet submitted, ascending submit time.
+    future: VecDeque<Job>,
+    /// Submitted, waiting jobs in queue order.
+    pending: Vec<Job>,
+    running: Vec<RunningJob>,
+    clock: SimClock,
+    acc: PowerAccumulator,
+    snapshot: PowerSnapshot,
+    power_dirty: bool,
+    cooling: Option<CoolingCoupling>,
+    /// Wet-bulb forcing for the cooling model, °C.
+    wet_bulb: TimeSeries,
+    outputs: SimOutputs,
+    record_every_s: u64,
+    completed: u64,
+    /// Nodes allocated per rack (for idle-node accounting).
+    rack_allocated: Vec<u32>,
+    /// Nodes physically present per rack.
+    rack_capacity: Vec<u32>,
+    total_nodes: usize,
+}
+
+impl RapsSimulation {
+    /// New simulation for `cfg` under `delivery`, recording outputs every
+    /// `record_every_s` seconds (15 matches the paper's telemetry quantum;
+    /// use larger values for multi-day replays).
+    pub fn new(
+        cfg: SystemConfig,
+        delivery: PowerDelivery,
+        policy: Policy,
+        record_every_s: u64,
+    ) -> Self {
+        let model = PowerModel::new(cfg.clone(), delivery);
+        let pool = NodePool::new(&cfg);
+        let acc = model.new_accumulator();
+        let racks = model.racks();
+        let total_nodes = cfg.total_nodes();
+        // Rack capacities: full racks, remainder in the last.
+        let per_rack = cfg.rack.nodes_per_rack;
+        let mut rack_capacity = vec![per_rack as u32; racks];
+        let rem = total_nodes - per_rack * (racks - 1);
+        rack_capacity[racks - 1] = rem as u32;
+        // Default weather: constant 15 °C wet-bulb.
+        let wet_bulb = TimeSeries::from_values(0.0, 3600.0, vec![15.0, 15.0]);
+        let snapshot = model.uniform_power(0.0, 0.0);
+        RapsSimulation {
+            cfg,
+            model,
+            policy,
+            pool,
+            future: VecDeque::new(),
+            pending: Vec::new(),
+            running: Vec::new(),
+            clock: SimClock::midnight(),
+            acc,
+            snapshot,
+            power_dirty: true,
+            cooling: None,
+            wet_bulb,
+            outputs: SimOutputs::new(record_every_s),
+            record_every_s,
+            completed: 0,
+            rack_allocated: vec![0; racks],
+            rack_capacity,
+            total_nodes,
+        }
+    }
+
+    /// Attach a cooling model (FMU import). Call before running.
+    pub fn attach_cooling(&mut self, mut coupling: CoolingCoupling) {
+        coupling.model.setup(self.clock.now_f64());
+        self.cooling = Some(coupling);
+    }
+
+    /// Provide the wet-bulb temperature forcing (°C over simulated time).
+    pub fn set_wet_bulb(&mut self, series: TimeSeries) {
+        self.wet_bulb = series;
+    }
+
+    /// Queue jobs for submission (any order; sorted internally).
+    pub fn submit_jobs(&mut self, mut jobs: Vec<Job>) {
+        jobs.sort_by_key(|j| j.submit_time_s);
+        for j in jobs {
+            self.future.push_back(j);
+        }
+        // Keep the whole future queue sorted across multiple calls.
+        let mut v: Vec<Job> = self.future.drain(..).collect();
+        v.sort_by_key(|j| j.submit_time_s);
+        self.future = v.into();
+    }
+
+    /// The current power snapshot.
+    pub fn snapshot(&self) -> &PowerSnapshot {
+        &self.snapshot
+    }
+
+    /// Current simulated time, seconds.
+    pub fn now(&self) -> u64 {
+        self.clock.elapsed()
+    }
+
+    /// Jobs currently running.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Node-allocation utilization in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        let active: u32 = self.rack_allocated.iter().sum();
+        active as f64 / self.total_nodes as f64
+    }
+
+    /// Recorded outputs so far.
+    pub fn outputs(&self) -> &SimOutputs {
+        &self.outputs
+    }
+
+    /// Access the cooling model for output inspection.
+    pub fn cooling_model(&self) -> Option<&dyn CoSimModel> {
+        self.cooling.as_ref().map(|c| c.model.as_ref())
+    }
+
+    /// Advance one second — the paper's `TICK`.
+    pub fn tick(&mut self) -> Result<(), FmiError> {
+        let now = self.clock.tick();
+
+        // Newly arriving jobs join the pending queue.
+        while let Some(front) = self.future.front() {
+            if front.submit_time_s <= now {
+                let mut job = self.future.pop_front().expect("peeked");
+                job.state = JobState::Pending;
+                self.pending.push(job);
+            } else {
+                break;
+            }
+        }
+
+        // Release completed jobs first so their nodes are schedulable.
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].job.is_due(now) {
+                let mut rj = self.running.swap_remove(i);
+                rj.job.state = JobState::Completed;
+                rj.job.end_time_s = Some(now);
+                self.pool.release(rj.job.partition, &rj.nodes);
+                for &(rack, count) in &rj.rack_counts {
+                    self.rack_allocated[rack as usize] -= count;
+                }
+                self.completed += 1;
+                self.power_dirty = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        // SCHEDULEJOBS over the pending queue.
+        if !self.pending.is_empty() {
+            let releases: Vec<RunningRelease> = self
+                .running
+                .iter()
+                .map(|rj| RunningRelease {
+                    end_time_s: rj.job.start_time_s.unwrap_or(now) + rj.job.wall_time_s,
+                    partition: rj.job.partition,
+                    nodes: rj.job.nodes,
+                })
+                .collect();
+            let decisions =
+                schedule_jobs(self.policy, &self.pending, &mut self.pool, now, &releases);
+            if !decisions.is_empty() {
+                self.power_dirty = true;
+                // Remove started jobs from pending in descending index order.
+                let mut started: Vec<(usize, Vec<u32>)> =
+                    decisions.into_iter().map(|d| (d.job_index, d.nodes)).collect();
+                started.sort_by(|a, b| b.0.cmp(&a.0));
+                for (idx, nodes) in started {
+                    let mut job = self.pending.swap_remove(idx);
+                    job.state = JobState::Running;
+                    job.start_time_s = Some(now);
+                    self.outputs
+                        .wait_stats
+                        .push(now.saturating_sub(job.submit_time_s) as f64);
+                    let rack_counts = self.rack_counts_of(&nodes);
+                    for &(rack, count) in &rack_counts {
+                        self.rack_allocated[rack as usize] += count;
+                    }
+                    let gpus = self.cfg.partitions[job.partition].gpus_per_node;
+                    self.running.push(RunningJob { job, nodes, rack_counts, gpus_per_node: gpus });
+                }
+            }
+        }
+
+        // Recalculate power on events or at the trace quantum.
+        let quantum_boundary = now % COOLING_PERIOD_S == 0;
+        if self.power_dirty || quantum_boundary {
+            self.recompute_power(now);
+            self.power_dirty = false;
+        }
+
+        // Energy integrates every second from the held snapshot.
+        self.outputs.energy_j += self.snapshot.system_w;
+
+        // Cooling model every 15 s (the FMU call of Algorithm 1).
+        if quantum_boundary {
+            self.step_cooling(now)?;
+        }
+
+        // Record outputs.
+        if now % self.record_every_s == 0 {
+            let util = self.utilization();
+            self.outputs.system_power_w.push(self.snapshot.system_w);
+            self.outputs.loss_w.push(self.snapshot.loss_w);
+            self.outputs.utilization.push(util);
+            self.outputs.efficiency.push(self.snapshot.efficiency);
+        }
+        self.outputs.power_stats.push(self.snapshot.system_w);
+        self.outputs.loss_stats.push(self.snapshot.loss_w);
+        self.outputs.eff_stats.push(self.snapshot.efficiency);
+        self.outputs.util_stats.push(self.utilization());
+        Ok(())
+    }
+
+    /// Run until `horizon_s` of simulated time.
+    pub fn run_until(&mut self, horizon_s: u64) -> Result<(), FmiError> {
+        while self.clock.elapsed() < horizon_s {
+            self.tick()?;
+        }
+        Ok(())
+    }
+
+    fn rack_counts_of(&self, nodes: &[u32]) -> Vec<(u32, u32)> {
+        let mut counts: Vec<(u32, u32)> = Vec::new();
+        for &n in nodes {
+            let rack = self.model.rack_of_node(n as usize) as u32;
+            match counts.last_mut() {
+                Some((r, c)) if *r == rack => *c += 1,
+                _ => counts.push((rack, 1)),
+            }
+        }
+        counts
+    }
+
+    fn recompute_power(&mut self, now: u64) {
+        self.model.reset_accumulator(&mut self.acc);
+        // Active nodes, per job.
+        for rj in &self.running {
+            let elapsed = rj.job.elapsed_at(now);
+            let cpu = rj.job.cpu_util.at(elapsed);
+            let gpu = rj.job.gpu_util.at(elapsed);
+            for &(rack, count) in &rj.rack_counts {
+                self.model.add_nodes(
+                    &mut self.acc,
+                    rack as usize,
+                    count as usize,
+                    cpu,
+                    gpu,
+                    rj.gpus_per_node,
+                );
+            }
+        }
+        // Idle nodes: rack capacity minus allocated. The default GPU count
+        // of the first partition is used for idle nodes, which is exact for
+        // single-partition systems and a fine approximation otherwise.
+        let idle_gpus = self.cfg.partitions[0].gpus_per_node;
+        for rack in 0..self.rack_capacity.len() {
+            let idle = self.rack_capacity[rack] - self.rack_allocated[rack];
+            if idle > 0 {
+                self.model.add_nodes(&mut self.acc, rack, idle as usize, 0.0, 0.0, idle_gpus);
+            }
+        }
+        self.snapshot = self.model.evaluate(&self.acc);
+    }
+
+    fn step_cooling(&mut self, now: u64) -> Result<(), FmiError> {
+        let Some(cooling) = &mut self.cooling else { return Ok(()) };
+        for (i, &vr) in cooling.cdu_inputs.iter().enumerate() {
+            cooling.model.set_real(vr, self.snapshot.cdu_heat_w[i])?;
+        }
+        let wb = self.wet_bulb.sample_at(now as f64);
+        cooling.model.set_real(cooling.wet_bulb_input, wb)?;
+        if let Some(vr) = cooling.it_power_input {
+            cooling.model.set_real(vr, self.snapshot.system_w)?;
+        }
+        cooling
+            .model
+            .do_step((now - COOLING_PERIOD_S) as f64, COOLING_PERIOD_S as f64)?;
+        if let Some(vr) = cooling.pue_output {
+            let pue = cooling.model.get_real(vr)?;
+            self.outputs.pue.push(pue);
+            self.outputs.pue_stats.push(pue);
+        }
+        let _ = cooling.cooling_power_output; // read on demand by callers
+        Ok(())
+    }
+
+    /// Build the §III-B5 run report.
+    pub fn report(&self) -> RunReport {
+        let secs = self.clock.elapsed();
+        let hours = secs as f64 / 3600.0;
+        let energy_mwh = self.outputs.energy_j / 3.6e9;
+        let avg_power_mw = self.outputs.power_stats.mean() / 1e6;
+        let avg_loss_mw = self.outputs.loss_stats.mean() / 1e6;
+        let eta = self.outputs.eff_stats.mean();
+        let costs = self.cfg.costs;
+        RunReport {
+            sim_seconds: secs,
+            jobs_completed: self.completed,
+            jobs_unfinished: (self.running.len() + self.pending.len() + self.future.len()) as u64,
+            throughput_jobs_per_hour: if hours > 0.0 { self.completed as f64 / hours } else { 0.0 },
+            avg_power_mw,
+            max_power_mw: self.outputs.power_stats.max() / 1e6,
+            total_energy_mwh: energy_mwh,
+            avg_loss_mw,
+            max_loss_mw: self.outputs.loss_stats.max() / 1e6,
+            loss_percent: if avg_power_mw > 0.0 { 100.0 * avg_loss_mw / avg_power_mw } else { 0.0 },
+            efficiency: eta,
+            co2_tons: RunReport::co2_for(&costs, energy_mwh, eta),
+            cost_usd: RunReport::cost_for(&costs, energy_mwh),
+            avg_utilization: self.outputs.util_stats.mean(),
+            avg_pue: if self.outputs.pue_stats.count() > 0 {
+                Some(self.outputs.pue_stats.mean())
+            } else {
+                None
+            },
+            avg_wait_s: if self.outputs.wait_stats.count() > 0 {
+                self.outputs.wait_stats.mean()
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+
+    fn sim() -> RapsSimulation {
+        RapsSimulation::new(
+            SystemConfig::frontier(),
+            PowerDelivery::StandardAC,
+            Policy::FirstFit,
+            15,
+        )
+    }
+
+    #[test]
+    fn idle_system_power_matches_table3() {
+        let mut s = sim();
+        s.run_until(60).unwrap();
+        let mw = s.snapshot().system_w / 1e6;
+        assert!((mw - 7.24).abs() < 0.05, "idle={mw}");
+        assert_eq!(s.running_count(), 0);
+    }
+
+    #[test]
+    fn single_job_lifecycle() {
+        let mut s = sim();
+        s.submit_jobs(vec![Job::new(1, "j", 128, 120, 10, 1.0, 1.0)]);
+        s.run_until(5).unwrap();
+        assert_eq!(s.running_count(), 0);
+        s.run_until(15).unwrap();
+        assert_eq!(s.running_count(), 1);
+        assert!(s.utilization() > 0.0);
+        // Job of 120 s starting at t=10 ends by t=131.
+        s.run_until(135).unwrap();
+        assert_eq!(s.running_count(), 0);
+        let r = s.report();
+        assert_eq!(r.jobs_completed, 1);
+    }
+
+    #[test]
+    fn power_rises_with_running_job() {
+        let mut s = sim();
+        s.submit_jobs(vec![Job::new(1, "big", 4096, 600, 1, 1.0, 1.0)]);
+        s.run_until(30).unwrap();
+        let loaded = s.snapshot().system_w;
+        // 4096 nodes at peak vs idle: +4096×2078 W DC plus losses ≈ +9 MW.
+        assert!(loaded > 15.0e6, "loaded={loaded}");
+        assert!(loaded < 20.0e6);
+    }
+
+    #[test]
+    fn energy_accumulates() {
+        let mut s = sim();
+        s.run_until(3600).unwrap();
+        let r = s.report();
+        // One idle hour ≈ 7.24 MWh.
+        assert!((r.total_energy_mwh - 7.24).abs() < 0.1, "E={}", r.total_energy_mwh);
+    }
+
+    #[test]
+    fn utilization_tracks_allocation() {
+        let mut s = sim();
+        s.submit_jobs(vec![Job::new(1, "half", 4736, 600, 1, 0.5, 0.5)]);
+        s.run_until(30).unwrap();
+        assert!((s.utilization() - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn queue_grows_when_machine_full() {
+        let mut s = sim();
+        s.submit_jobs(vec![
+            Job::new(1, "all", 9472, 600, 1, 0.5, 0.5),
+            Job::new(2, "wait", 100, 60, 2, 0.5, 0.5),
+        ]);
+        s.run_until(30).unwrap();
+        assert_eq!(s.running_count(), 1);
+        assert_eq!(s.pending_count(), 1);
+    }
+
+    #[test]
+    fn report_counts_and_throughput() {
+        let mut s = sim();
+        let jobs: Vec<Job> =
+            (0..10).map(|i| Job::new(i, format!("j{i}"), 64, 60, i * 5, 0.3, 0.6)).collect();
+        s.submit_jobs(jobs);
+        s.run_until(3600).unwrap();
+        let r = s.report();
+        assert_eq!(r.jobs_completed, 10);
+        assert!((r.throughput_jobs_per_hour - 10.0).abs() < 0.5);
+        assert!(r.avg_wait_s < 10.0);
+    }
+
+    #[test]
+    fn outputs_recorded_at_cadence() {
+        let mut s = sim();
+        s.run_until(150).unwrap();
+        // Recording every 15 s over 150 s: 10 samples.
+        assert_eq!(s.outputs().system_power_w.len(), 10);
+    }
+
+    #[test]
+    fn hpl_day_power_reaches_table3_level() {
+        let mut s = sim();
+        s.submit_jobs(vec![crate::workload::hpl_job(1, 1)]);
+        // Run into the HPL core phase.
+        s.run_until(3600).unwrap();
+        let mw = s.snapshot().system_w / 1e6;
+        // 9216 nodes in core phase + 256 idle ≈ 22.3 MW (Table III).
+        assert!((mw - 22.3).abs() < 0.3, "hpl={mw}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut s = sim();
+            let mut gen = crate::workload::WorkloadGenerator::new(
+                crate::workload::WorkloadParams::default(),
+                1234,
+            );
+            s.submit_jobs(gen.generate_day(0));
+            s.run_until(7200).unwrap();
+            (s.report(), s.outputs().system_power_w.values.clone())
+        };
+        let (r1, p1) = run();
+        let (r2, p2) = run();
+        assert_eq!(r1, r2);
+        assert_eq!(p1, p2);
+    }
+}

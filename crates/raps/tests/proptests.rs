@@ -1,0 +1,196 @@
+//! Property-based tests for RAPS: scheduler allocation invariants, power
+//! bounds, and workload generator validity under arbitrary inputs.
+
+use exadigit_raps::config::{PartitionConfig, SystemConfig};
+use exadigit_raps::job::{Job, UtilTrace};
+use exadigit_raps::power::{PowerDelivery, PowerModel};
+use exadigit_raps::scheduler::{schedule_jobs, NodePool, Policy, RunningRelease};
+use exadigit_raps::workload::{WorkloadGenerator, WorkloadParams};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn small_config(nodes: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::frontier();
+    cfg.partitions =
+        vec![PartitionConfig { name: "batch".into(), nodes, gpus_per_node: 4 }];
+    cfg
+}
+
+fn arbitrary_jobs(max_nodes: usize) -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec(
+        (1usize..=max_nodes, 60u64..7_200, 0u64..600, 0.0f32..1.0, 0.0f32..1.0),
+        0..40,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (nodes, wall, submit, cu, gu))| {
+                Job::new(i as u64, format!("j{i}"), nodes, wall, submit, cu, gu)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No policy ever double-allocates a node or exceeds capacity, for any
+    /// job mix.
+    #[test]
+    fn schedulers_never_double_allocate(
+        jobs in arbitrary_jobs(200),
+        policy_idx in 0usize..4,
+    ) {
+        let policy = [Policy::Fcfs, Policy::Sjf, Policy::FirstFit, Policy::EasyBackfill][policy_idx];
+        let cfg = small_config(128);
+        let mut pool = NodePool::new(&cfg);
+        let decisions = schedule_jobs(policy, &jobs, &mut pool, 0, &[]);
+        let mut seen = HashSet::new();
+        let mut total = 0usize;
+        for d in &decisions {
+            prop_assert_eq!(d.nodes.len(), jobs[d.job_index].nodes);
+            for &n in &d.nodes {
+                prop_assert!(seen.insert(n), "node {} double-allocated", n);
+            }
+            total += d.nodes.len();
+        }
+        prop_assert!(total <= 128);
+        prop_assert_eq!(pool.available(0), 128 - total);
+    }
+
+    /// Each pending job is started at most once per pass.
+    #[test]
+    fn schedulers_start_jobs_at_most_once(
+        jobs in arbitrary_jobs(64),
+        policy_idx in 0usize..4,
+    ) {
+        let policy = [Policy::Fcfs, Policy::Sjf, Policy::FirstFit, Policy::EasyBackfill][policy_idx];
+        let cfg = small_config(256);
+        let mut pool = NodePool::new(&cfg);
+        let decisions = schedule_jobs(policy, &jobs, &mut pool, 0, &[]);
+        let mut idx = HashSet::new();
+        for d in &decisions {
+            prop_assert!(idx.insert(d.job_index), "job {} started twice", d.job_index);
+        }
+    }
+
+    /// EASY backfill never starts a job that could delay the head job's
+    /// reservation (soundness of the reservation arithmetic): after the
+    /// pass, either the head started, or every started job fits the
+    /// backfill rule.
+    #[test]
+    fn backfill_reservation_sound(
+        jobs in arbitrary_jobs(100),
+        running_nodes in 1usize..100,
+        end_time in 100u64..5_000,
+    ) {
+        let cfg = small_config(128);
+        let mut pool = NodePool::new(&cfg);
+        let held = pool.allocate(0, running_nodes).unwrap();
+        let running = [RunningRelease { end_time_s: end_time, partition: 0, nodes: held.len() }];
+        let free_before = pool.available(0);
+        let decisions = schedule_jobs(Policy::EasyBackfill, &jobs, &mut pool, 0, &running);
+        if let Some(head) = jobs.first() {
+            let head_started = decisions.iter().any(|d| d.job_index == 0);
+            if !head_started && head.nodes <= 128 {
+                // Shadow time exists; spare = free_before + released − head.
+                let spare = (free_before + running_nodes).saturating_sub(head.nodes);
+                for d in &decisions {
+                    let j = &jobs[d.job_index];
+                    let ends_before = j.wall_time_s <= end_time;
+                    let within_spare = j.nodes <= spare;
+                    prop_assert!(
+                        ends_before || within_spare,
+                        "job {} ({} nodes, {} s) violates the reservation",
+                        d.job_index, j.nodes, j.wall_time_s
+                    );
+                }
+            }
+        }
+    }
+
+    /// Node power is always within [idle, peak] for any utilization pair.
+    #[test]
+    fn node_power_bounded(cu in -1.0f64..2.0, gu in -1.0f64..2.0) {
+        let model = PowerModel::new(SystemConfig::frontier(), PowerDelivery::StandardAC);
+        let p = model.node_power(cu, gu, 4);
+        prop_assert!(p >= 626.0 - 1e-9 && p <= 2704.0 + 1e-9, "p={p}");
+    }
+
+    /// System power is monotone in utilization and bounded by the
+    /// idle/peak anchors for every delivery variant.
+    #[test]
+    fn system_power_monotone_and_bounded(
+        u in 0.0f64..1.0,
+        du in 0.0f64..0.5,
+        delivery_idx in 0usize..3,
+    ) {
+        let delivery = [
+            PowerDelivery::StandardAC,
+            PowerDelivery::SmartRectifiers,
+            PowerDelivery::Direct380Vdc,
+        ][delivery_idx];
+        let mut cfg = small_config(256);
+        cfg.cooling.num_cdus = 1;
+        let model = PowerModel::new(cfg, delivery);
+        let lo = model.uniform_power(0.0, 0.0).system_w;
+        let hi = model.uniform_power(1.0, 1.0).system_w;
+        let p1 = model.uniform_power(u, u).system_w;
+        let p2 = model.uniform_power((u + du).min(1.0), (u + du).min(1.0)).system_w;
+        prop_assert!(p1 >= lo - 1e-6 && p1 <= hi + 1e-6);
+        prop_assert!(p2 >= p1 - 1e-6, "power must be monotone in utilization");
+    }
+
+    /// Conversion losses are non-negative and efficiency ≤ 1 everywhere.
+    #[test]
+    fn losses_non_negative(u in 0.0f64..1.0, delivery_idx in 0usize..3) {
+        let delivery = [
+            PowerDelivery::StandardAC,
+            PowerDelivery::SmartRectifiers,
+            PowerDelivery::Direct380Vdc,
+        ][delivery_idx];
+        let mut cfg = small_config(512);
+        cfg.cooling.num_cdus = 1;
+        let model = PowerModel::new(cfg, delivery);
+        let snap = model.uniform_power(u, u);
+        prop_assert!(snap.loss_w >= 0.0);
+        prop_assert!(snap.efficiency <= 1.0 + 1e-12);
+        prop_assert!(snap.efficiency > 0.85);
+        // CDU heats sum to the scaled rack+switch power.
+        let heat: f64 = snap.cdu_heat_w.iter().sum();
+        let expect = 0.945 * (snap.node_ac_w + snap.switch_w);
+        prop_assert!((heat - expect).abs() <= 1e-6 * expect);
+    }
+
+    /// Utilization traces stay in [0, 1] whatever the raw samples.
+    #[test]
+    fn util_trace_clamped(samples in prop::collection::vec(-2.0f32..3.0, 0..50), t in 0u64..10_000) {
+        let trace = UtilTrace::Series { quantum_s: 15, values: samples };
+        let u = trace.at(t);
+        prop_assert!((0.0..=1.0).contains(&u));
+        prop_assert!((0.0..=1.0).contains(&trace.mean()));
+    }
+
+    /// The workload generator emits valid jobs for arbitrary (sane)
+    /// parameters and seeds.
+    #[test]
+    fn generator_emits_valid_jobs(
+        seed in any::<u64>(),
+        tavg in 20.0f64..600.0,
+        load in 0.1f64..0.95,
+    ) {
+        let params = WorkloadParams {
+            tavg_median_s: tavg,
+            offered_load: load,
+            ..WorkloadParams::default()
+        };
+        let mut generator = WorkloadGenerator::new(params, seed);
+        let jobs = generator.generate_day(0);
+        for j in &jobs {
+            prop_assert!(j.nodes >= 1 && j.nodes <= 9_472);
+            prop_assert!(j.wall_time_s >= 60);
+            prop_assert!(j.submit_time_s < 86_400);
+        }
+    }
+}

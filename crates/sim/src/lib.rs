@@ -1,0 +1,40 @@
+//! Simulation substrate for ExaDigiT-rs.
+//!
+//! This crate provides the domain-independent machinery every other crate in
+//! the workspace builds on:
+//!
+//! * [`clock`] — a discrete simulation clock with second resolution, matching
+//!   the paper's Algorithm 1 (`TICK` is called every simulated second, the
+//!   cooling model every 15 s).
+//! * [`rng`] — a deterministic, seedable random number generator
+//!   (xoshiro256\*\* seeded via splitmix64) plus the distributions the paper
+//!   uses: the exponential inter-arrival law of eq. (5), normal / lognormal
+//!   laws for workload synthesis, and uniform helpers.
+//! * [`series`] — fixed-step time series with resampling, used for both model
+//!   outputs and synthetic telemetry.
+//! * [`stats`] — online summary statistics (Welford), RMSE/MAE validation
+//!   metrics (§IV of the paper), percentiles, and histograms.
+//! * [`fmi`] — an "FMI-lite" co-simulation interface. The paper exports its
+//!   Modelica cooling model as an FMU and couples it to RAPS through the FMI
+//!   standard; we reproduce that architectural boundary with a Rust trait so
+//!   models remain swappable.
+//! * [`master`] — a simple multi-rate Jacobi co-simulation master that steps
+//!   several [`fmi::CoSimModel`]s and moves values across declared
+//!   connections.
+//!
+//! Everything here is deliberately free of global state so that replays are
+//! reproducible: the same seed and configuration always produce bit-identical
+//! results (verified by the `determinism` integration test).
+
+pub mod clock;
+pub mod fmi;
+pub mod master;
+pub mod rng;
+pub mod series;
+pub mod stats;
+
+pub use clock::SimClock;
+pub use fmi::{Causality, CoSimModel, FmiError, VarRef, VariableDescriptor, VariableRegistry};
+pub use rng::Rng;
+pub use series::TimeSeries;
+pub use stats::{mae, rmse, Summary, Welford};

@@ -1,0 +1,267 @@
+//! Multi-rate Jacobi co-simulation master.
+//!
+//! The paper couples RAPS (1 s ticks) to the cooling FMU (15 s steps).
+//! This module generalises that pattern: several [`CoSimModel`]s advance on
+//! a shared macro step, values flow across declared connections at macro
+//! boundaries (Jacobi scheme: all reads happen before any writes, so model
+//! order does not matter), and models whose `step_multiple` is greater than
+//! one are only stepped every N macro steps — exactly the `mod 15` cadence
+//! of Algorithm 1.
+
+use crate::fmi::{CoSimModel, FmiError, VarRef};
+
+/// A directed value connection between two models in the master.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Connection {
+    /// Index of the source model in the master.
+    pub src_model: usize,
+    /// Output variable on the source model.
+    pub src_var: VarRef,
+    /// Index of the destination model.
+    pub dst_model: usize,
+    /// Input variable on the destination model.
+    pub dst_var: VarRef,
+}
+
+/// One registered model plus its rate multiple.
+struct Slot {
+    model: Box<dyn CoSimModel>,
+    /// Step every `step_multiple` macro steps (>= 1).
+    step_multiple: u64,
+}
+
+/// The master algorithm: owns the models, the coupling graph and the clock.
+pub struct CoSimMaster {
+    slots: Vec<Slot>,
+    connections: Vec<Connection>,
+    /// Macro step size in seconds.
+    macro_dt: f64,
+    /// Macro steps taken since setup.
+    steps: u64,
+    time: f64,
+}
+
+impl CoSimMaster {
+    /// Create a master with the given macro step (seconds).
+    pub fn new(macro_dt: f64) -> Self {
+        assert!(macro_dt > 0.0);
+        CoSimMaster { slots: Vec::new(), connections: Vec::new(), macro_dt, steps: 0, time: 0.0 }
+    }
+
+    /// Register a model stepping every `step_multiple` macro steps.
+    /// Returns the model's index for use in [`Connection`]s.
+    pub fn add_model(&mut self, model: Box<dyn CoSimModel>, step_multiple: u64) -> usize {
+        assert!(step_multiple >= 1);
+        self.slots.push(Slot { model, step_multiple });
+        self.slots.len() - 1
+    }
+
+    /// Declare a connection. Causality is validated lazily at exchange time
+    /// by the models themselves.
+    pub fn connect(&mut self, c: Connection) {
+        assert!(c.src_model < self.slots.len() && c.dst_model < self.slots.len());
+        self.connections.push(c);
+    }
+
+    /// Initialise all models at `start_time` and perform the initial
+    /// exchange so inputs are populated before the first step.
+    pub fn setup(&mut self, start_time: f64) -> Result<(), FmiError> {
+        self.time = start_time;
+        self.steps = 0;
+        for slot in &mut self.slots {
+            slot.model.setup(start_time);
+        }
+        self.exchange()
+    }
+
+    /// Current simulation time (seconds).
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Move values across all connections (Jacobi: gather then scatter).
+    fn exchange(&mut self) -> Result<(), FmiError> {
+        // Gather first so that an earlier write cannot influence a later read.
+        let mut staged = Vec::with_capacity(self.connections.len());
+        for c in &self.connections {
+            staged.push(self.slots[c.src_model].model.get_real(c.src_var)?);
+        }
+        for (c, v) in self.connections.iter().zip(staged) {
+            self.slots[c.dst_model].model.set_real(c.dst_var, v)?;
+        }
+        Ok(())
+    }
+
+    /// Advance one macro step: exchange, then step every due model.
+    pub fn step(&mut self) -> Result<(), FmiError> {
+        self.exchange()?;
+        let next_step = self.steps + 1;
+        for slot in &mut self.slots {
+            if next_step % slot.step_multiple == 0 {
+                let dt = self.macro_dt * slot.step_multiple as f64;
+                // The model last advanced at a multiple of its own period.
+                let model_time = self.time - self.macro_dt * (slot.step_multiple - 1) as f64;
+                slot.model.do_step(model_time, dt)?;
+            }
+        }
+        self.steps = next_step;
+        self.time += self.macro_dt;
+        Ok(())
+    }
+
+    /// Run `n` macro steps.
+    pub fn run(&mut self, n: u64) -> Result<(), FmiError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Borrow a model for output inspection.
+    pub fn model(&self, idx: usize) -> &dyn CoSimModel {
+        self.slots[idx].model.as_ref()
+    }
+
+    /// Mutably borrow a model (e.g. to force an input between steps).
+    pub fn model_mut(&mut self, idx: usize) -> &mut dyn CoSimModel {
+        self.slots[idx].model.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fmi::{Causality, VariableDescriptor, VariableRegistry};
+
+    /// Emits a constant.
+    struct Source {
+        vars: Vec<VariableDescriptor>,
+        value: f64,
+    }
+    impl Source {
+        fn new(value: f64) -> Self {
+            let mut reg = VariableRegistry::new();
+            reg.output("out", "W");
+            Source { vars: reg.into_vec(), value }
+        }
+    }
+    impl CoSimModel for Source {
+        fn instance_name(&self) -> &str {
+            "source"
+        }
+        fn variables(&self) -> &[VariableDescriptor] {
+            &self.vars
+        }
+        fn setup(&mut self, _t: f64) {}
+        fn set_real(&mut self, vr: VarRef, _v: f64) -> Result<(), FmiError> {
+            Err(FmiError::WrongCausality { vr, expected: Causality::Input })
+        }
+        fn get_real(&self, vr: VarRef) -> Result<f64, FmiError> {
+            if vr.0 == 0 {
+                Ok(self.value)
+            } else {
+                Err(FmiError::UnknownVariable(vr))
+            }
+        }
+        fn do_step(&mut self, _t: f64, _dt: f64) -> Result<(), FmiError> {
+            Ok(())
+        }
+        fn reset(&mut self) {}
+    }
+
+    /// Integrates its input; also counts how many times it was stepped.
+    struct Sink {
+        vars: Vec<VariableDescriptor>,
+        input: f64,
+        acc: f64,
+        steps: u64,
+    }
+    impl Sink {
+        fn new() -> Self {
+            let mut reg = VariableRegistry::new();
+            reg.input("in", "W");
+            reg.output("acc", "J");
+            Sink { vars: reg.into_vec(), input: 0.0, acc: 0.0, steps: 0 }
+        }
+    }
+    impl CoSimModel for Sink {
+        fn instance_name(&self) -> &str {
+            "sink"
+        }
+        fn variables(&self) -> &[VariableDescriptor] {
+            &self.vars
+        }
+        fn setup(&mut self, _t: f64) {
+            self.acc = 0.0;
+            self.steps = 0;
+        }
+        fn set_real(&mut self, vr: VarRef, v: f64) -> Result<(), FmiError> {
+            if vr.0 == 0 {
+                self.input = v;
+                Ok(())
+            } else {
+                Err(FmiError::UnknownVariable(vr))
+            }
+        }
+        fn get_real(&self, vr: VarRef) -> Result<f64, FmiError> {
+            match vr.0 {
+                0 => Ok(self.input),
+                1 => Ok(self.acc),
+                _ => Err(FmiError::UnknownVariable(vr)),
+            }
+        }
+        fn do_step(&mut self, _t: f64, dt: f64) -> Result<(), FmiError> {
+            self.acc += self.input * dt;
+            self.steps += 1;
+            Ok(())
+        }
+        fn reset(&mut self) {
+            self.input = 0.0;
+            self.acc = 0.0;
+            self.steps = 0;
+        }
+    }
+
+    #[test]
+    fn values_flow_across_connection() {
+        let mut master = CoSimMaster::new(1.0);
+        let src = master.add_model(Box::new(Source::new(3.0)), 1);
+        let dst = master.add_model(Box::new(Sink::new()), 1);
+        master.connect(Connection {
+            src_model: src,
+            src_var: VarRef(0),
+            dst_model: dst,
+            dst_var: VarRef(0),
+        });
+        master.setup(0.0).unwrap();
+        master.run(10).unwrap();
+        assert_eq!(master.model(dst).get_real(VarRef(1)).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn multi_rate_steps_slow_model_every_n() {
+        // Macro step 1 s, slow model at multiple 15: after 60 macro steps it
+        // must have stepped 4 times with dt = 15 — the paper's cadence.
+        let mut master = CoSimMaster::new(1.0);
+        let src = master.add_model(Box::new(Source::new(2.0)), 1);
+        let slow = master.add_model(Box::new(Sink::new()), 15);
+        master.connect(Connection {
+            src_model: src,
+            src_var: VarRef(0),
+            dst_model: slow,
+            dst_var: VarRef(0),
+        });
+        master.setup(0.0).unwrap();
+        master.run(60).unwrap();
+        // 4 steps x 15 s x 2 W = 120 J
+        assert_eq!(master.model(slow).get_real(VarRef(1)).unwrap(), 120.0);
+    }
+
+    #[test]
+    fn time_advances_by_macro_dt() {
+        let mut master = CoSimMaster::new(0.5);
+        master.setup(10.0).unwrap();
+        master.run(4).unwrap();
+        assert!((master.time() - 12.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,225 @@
+//! Fixed-step time series.
+//!
+//! Telemetry in the paper arrives at heterogeneous cadences (Table II: 1 s
+//! measured power, 15 s rack power and cooling outputs, 60 s wet-bulb,
+//! 10 min pump power...). `TimeSeries` stores a uniformly sampled channel
+//! and supports the resampling needed to align model output with telemetry
+//! for RMSE/MAE validation.
+
+use serde::{Deserialize, Serialize};
+
+/// A uniformly sampled time series: value `i` is the sample at
+/// `t0 + i * dt` (seconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Time of the first sample, in seconds.
+    pub t0: f64,
+    /// Sample period in seconds (must be > 0).
+    pub dt: f64,
+    /// Sample values.
+    pub values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Empty series starting at `t0` with period `dt`.
+    pub fn new(t0: f64, dt: f64) -> Self {
+        assert!(dt > 0.0, "sample period must be positive");
+        TimeSeries { t0, dt, values: Vec::new() }
+    }
+
+    /// Empty series with pre-reserved capacity (avoids re-allocation in
+    /// multi-day replays; see the perf-book guidance on `Vec` growth).
+    pub fn with_capacity(t0: f64, dt: f64, capacity: usize) -> Self {
+        assert!(dt > 0.0, "sample period must be positive");
+        TimeSeries { t0, dt, values: Vec::with_capacity(capacity) }
+    }
+
+    /// Build from existing samples.
+    pub fn from_values(t0: f64, dt: f64, values: Vec<f64>) -> Self {
+        assert!(dt > 0.0, "sample period must be positive");
+        TimeSeries { t0, dt, values }
+    }
+
+    /// Append the next sample.
+    #[inline]
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no samples are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Time of sample `i`.
+    #[inline]
+    pub fn time_at(&self, i: usize) -> f64 {
+        self.t0 + i as f64 * self.dt
+    }
+
+    /// Time of the last sample (None when empty).
+    pub fn end_time(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.time_at(self.values.len() - 1))
+        }
+    }
+
+    /// Linear interpolation at time `t`, clamped to the series ends.
+    pub fn sample_at(&self, t: f64) -> f64 {
+        assert!(!self.values.is_empty(), "cannot sample an empty series");
+        let pos = (t - self.t0) / self.dt;
+        if pos <= 0.0 {
+            return self.values[0];
+        }
+        let last = self.values.len() - 1;
+        if pos >= last as f64 {
+            return self.values[last];
+        }
+        let i = pos.floor() as usize;
+        let frac = pos - i as f64;
+        self.values[i] * (1.0 - frac) + self.values[i + 1] * frac
+    }
+
+    /// Resample to a new period via linear interpolation, covering the same
+    /// time span. Used to align e.g. 60 s wet-bulb telemetry onto the 15 s
+    /// cooling-model grid.
+    pub fn resample(&self, new_dt: f64) -> TimeSeries {
+        assert!(new_dt > 0.0);
+        assert!(!self.values.is_empty());
+        let span = (self.values.len() - 1) as f64 * self.dt;
+        let n = (span / new_dt).floor() as usize + 1;
+        let mut out = TimeSeries::with_capacity(self.t0, new_dt, n);
+        for i in 0..n {
+            out.push(self.sample_at(self.t0 + i as f64 * new_dt));
+        }
+        out
+    }
+
+    /// Mean of all samples (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return f64::NAN;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Minimum sample (NaN when empty).
+    pub fn min(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NAN, f64::min)
+    }
+
+    /// Maximum sample (NaN when empty).
+    pub fn max(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NAN, f64::max)
+    }
+
+    /// Integrate the series over its span using the trapezoidal rule.
+    /// With values in watts and dt in seconds, this yields joules.
+    pub fn integrate(&self) -> f64 {
+        if self.values.len() < 2 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for w in self.values.windows(2) {
+            acc += 0.5 * (w[0] + w[1]) * self.dt;
+        }
+        acc
+    }
+
+    /// Element-wise map into a new series.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> TimeSeries {
+        TimeSeries {
+            t0: self.t0,
+            dt: self.dt,
+            values: self.values.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Iterator over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (self.time_at(i), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> TimeSeries {
+        TimeSeries::from_values(0.0, 15.0, (0..=10).map(|i| i as f64).collect())
+    }
+
+    #[test]
+    fn sample_interpolates_linearly() {
+        let s = ramp();
+        assert_eq!(s.sample_at(0.0), 0.0);
+        assert_eq!(s.sample_at(15.0), 1.0);
+        assert!((s.sample_at(22.5) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_clamps_at_ends() {
+        let s = ramp();
+        assert_eq!(s.sample_at(-100.0), 0.0);
+        assert_eq!(s.sample_at(1e9), 10.0);
+    }
+
+    #[test]
+    fn resample_preserves_span_and_values() {
+        let s = ramp(); // spans 150 s
+        let r = s.resample(5.0);
+        assert_eq!(r.len(), 31);
+        assert!((r.sample_at(75.0) - 5.0).abs() < 1e-12);
+        assert!((r.values[30] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resample_downsamples() {
+        let s = ramp();
+        let r = s.resample(30.0);
+        assert_eq!(r.len(), 6);
+        assert_eq!(r.values[1], 2.0);
+    }
+
+    #[test]
+    fn integrate_trapezoid() {
+        // Constant 2.0 over 4 samples of dt=1 -> area 6.0.
+        let s = TimeSeries::from_values(0.0, 1.0, vec![2.0; 4]);
+        assert!((s.integrate() - 6.0).abs() < 1e-12);
+        // Ramp 0..3 over dt=1 -> area 4.5.
+        let s = TimeSeries::from_values(0.0, 1.0, vec![0.0, 1.0, 2.0, 3.0]);
+        assert!((s.integrate() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_helpers() {
+        let s = ramp();
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 10.0);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let s = ramp().map(|v| v * 2.0);
+        assert_eq!(s.values[3], 6.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dt_rejected() {
+        let _ = TimeSeries::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Pluggable telemetry readers.
+//!
+//! §V of the paper: "A pluggable architecture was developed for reading
+//! different types of bespoke telemetry datasets", naming the PM100 job
+//! power dataset of Marconi100 as one consumer. [`TelemetryReader`] is the
+//! plug-in trait; two implementations ship here: the native CSV format
+//! written by [`crate::writer`] and a PM100-like JSON adapter.
+
+use crate::schema::JobRecord;
+
+/// Errors raised while parsing telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReadError {
+    /// Malformed input with a line/record hint.
+    Malformed(String),
+    /// A required field was missing.
+    MissingField(&'static str),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Malformed(msg) => write!(f, "malformed telemetry: {msg}"),
+            ReadError::MissingField(field) => write!(f, "missing field: {field}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// A telemetry-dataset reader plug-in.
+pub trait TelemetryReader {
+    /// Human-readable format name.
+    fn format_name(&self) -> &'static str;
+
+    /// Parse job records from the dataset content.
+    fn read_jobs(&self, content: &str) -> Result<Vec<JobRecord>, ReadError>;
+}
+
+/// The native CSV format: one job per line,
+/// `job_id,name,node_count,submit,start,wall,cpu_trace,gpu_trace` with
+/// traces `;`-separated watts at 15 s.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CsvJobReader;
+
+impl TelemetryReader for CsvJobReader {
+    fn format_name(&self) -> &'static str {
+        "exadigit-csv"
+    }
+
+    fn read_jobs(&self, content: &str) -> Result<Vec<JobRecord>, ReadError> {
+        let mut out = Vec::new();
+        for (lineno, line) in content.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') || (lineno == 0 && line.starts_with("job_id")) {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 8 {
+                return Err(ReadError::Malformed(format!(
+                    "line {}: expected 8 fields, got {}",
+                    lineno + 1,
+                    fields.len()
+                )));
+            }
+            let parse_u64 = |s: &str, what: &'static str| {
+                s.parse::<u64>().map_err(|_| ReadError::Malformed(format!("line {}: bad {what} `{s}`", lineno + 1)))
+            };
+            let parse_trace = |s: &str| -> Result<Vec<f32>, ReadError> {
+                if s.is_empty() {
+                    return Ok(Vec::new());
+                }
+                s.split(';')
+                    .map(|v| {
+                        v.parse::<f32>().map_err(|_| {
+                            ReadError::Malformed(format!("line {}: bad trace value `{v}`", lineno + 1))
+                        })
+                    })
+                    .collect()
+            };
+            out.push(JobRecord {
+                job_id: parse_u64(fields[0], "job_id")?,
+                job_name: fields[1].to_string(),
+                node_count: parse_u64(fields[2], "node_count")? as usize,
+                submit_time_s: parse_u64(fields[3], "submit")?,
+                start_time_s: parse_u64(fields[4], "start")?,
+                wall_time_s: parse_u64(fields[5], "wall")?,
+                cpu_power_w: parse_trace(fields[6])?,
+                gpu_power_w: parse_trace(fields[7])?,
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// PM100-like JSON adapter: an array of job objects with average node
+/// power (the PM100 dataset publishes job-level power aggregates rather
+/// than traces). Average power is expanded into a flat trace.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Pm100JsonReader;
+
+impl TelemetryReader for Pm100JsonReader {
+    fn format_name(&self) -> &'static str {
+        "pm100-json"
+    }
+
+    fn read_jobs(&self, content: &str) -> Result<Vec<JobRecord>, ReadError> {
+        let parsed: serde_json::Value = serde_json::from_str(content)
+            .map_err(|e| ReadError::Malformed(format!("json: {e}")))?;
+        let arr = parsed.as_array().ok_or(ReadError::Malformed("expected a JSON array".into()))?;
+        let mut out = Vec::with_capacity(arr.len());
+        for (i, v) in arr.iter().enumerate() {
+            let get = |key: &'static str| {
+                v.get(key).ok_or(ReadError::MissingField(key))
+            };
+            let num = |key: &'static str| -> Result<f64, ReadError> {
+                get(key)?.as_f64().ok_or(ReadError::Malformed(format!("record {i}: {key} not numeric")))
+            };
+            let job_id = num("job_id")? as u64;
+            let node_count = num("num_nodes")? as usize;
+            let submit = num("submit_time")? as u64;
+            let start = v.get("start_time").and_then(|x| x.as_f64()).unwrap_or(submit as f64) as u64;
+            let run_time = num("run_time")? as u64;
+            // PM100 carries average node power; split it between CPU and
+            // GPU by a typical accelerator share.
+            let avg_node_power = num("avg_node_power")?;
+            let gpu_share = 0.7;
+            let gpus = v.get("num_gpus_per_node").and_then(|x| x.as_f64()).unwrap_or(4.0).max(1.0);
+            let steps = (run_time / 15).max(1) as usize;
+            let cpu_w = (avg_node_power * (1.0 - gpu_share)) as f32;
+            let gpu_w = (avg_node_power * gpu_share / gpus) as f32;
+            out.push(JobRecord {
+                job_id,
+                job_name: v
+                    .get("job_name")
+                    .and_then(|x| x.as_str())
+                    .unwrap_or("pm100-job")
+                    .to_string(),
+                node_count,
+                submit_time_s: submit,
+                start_time_s: start,
+                wall_time_s: run_time,
+                cpu_power_w: vec![cpu_w; steps],
+                gpu_power_w: vec![gpu_w; steps],
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_round_trip_via_writer() {
+        let rec = JobRecord {
+            job_id: 42,
+            job_name: "hpl".into(),
+            node_count: 9216,
+            submit_time_s: 100,
+            start_time_s: 120,
+            wall_time_s: 7200,
+            cpu_power_w: vec![152.7, 153.0],
+            gpu_power_w: vec![460.9, 461.0],
+        };
+        let csv = crate::writer::jobs_to_csv(&[rec.clone()]);
+        let back = CsvJobReader.read_jobs(&csv).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].job_id, rec.job_id);
+        assert_eq!(back[0].node_count, rec.node_count);
+        assert_eq!(back[0].cpu_power_w.len(), 2);
+        assert!((back[0].gpu_power_w[0] - 460.9).abs() < 0.01);
+    }
+
+    #[test]
+    fn csv_rejects_malformed_lines() {
+        let err = CsvJobReader.read_jobs("1,only,three").unwrap_err();
+        assert!(matches!(err, ReadError::Malformed(_)));
+        let err = CsvJobReader.read_jobs("x,a,1,0,0,60,10,10").unwrap_err();
+        assert!(matches!(err, ReadError::Malformed(_)));
+    }
+
+    #[test]
+    fn csv_skips_comments_and_header() {
+        let content = "job_id,name,node_count,submit,start,wall,cpu,gpu\n# comment\n\n1,j,4,0,0,60,100,400\n";
+        let jobs = CsvJobReader.read_jobs(content).unwrap();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].node_count, 4);
+    }
+
+    #[test]
+    fn pm100_adapter_parses() {
+        let content = r#"[
+            {"job_id": 9, "num_nodes": 16, "submit_time": 50, "run_time": 600,
+             "avg_node_power": 1200.0, "num_gpus_per_node": 4, "job_name": "lammps"}
+        ]"#;
+        let jobs = Pm100JsonReader.read_jobs(content).unwrap();
+        assert_eq!(jobs.len(), 1);
+        let j = &jobs[0];
+        assert_eq!(j.node_count, 16);
+        assert_eq!(j.wall_time_s, 600);
+        assert_eq!(j.cpu_power_w.len(), 40);
+        // Power split: 30 % CPU, 70 % across 4 GPUs.
+        assert!((j.cpu_power_w[0] - 360.0).abs() < 0.5);
+        assert!((j.gpu_power_w[0] - 210.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn pm100_rejects_missing_fields() {
+        let err = Pm100JsonReader.read_jobs(r#"[{"job_id": 1}]"#).unwrap_err();
+        assert!(matches!(err, ReadError::MissingField(_)));
+        let err = Pm100JsonReader.read_jobs("{}").unwrap_err();
+        assert!(matches!(err, ReadError::Malformed(_)));
+    }
+
+    #[test]
+    fn readers_report_formats() {
+        assert_eq!(CsvJobReader.format_name(), "exadigit-csv");
+        assert_eq!(Pm100JsonReader.format_name(), "pm100-json");
+    }
+}

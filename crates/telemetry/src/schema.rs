@@ -1,0 +1,206 @@
+//! Telemetry record types — Table II of the paper.
+//!
+//! RAPS inputs: a list of jobs with name, id, node count, start time, and
+//! CPU/GPU **power** traces at 15 s (the paper's telemetry lacks
+//! utilization, so "we linearly interpolate power to utilization").
+//! RAPS output: measured total power at 1 s. Cooling-model inputs: 25 rack
+//! powers at 15 s plus wet-bulb at 60 s; outputs: the CDU and CEP channels
+//! listed in Table II at their native resolutions.
+
+use exadigit_raps::config::NodePowerConfig;
+use exadigit_raps::job::{Job, UtilTrace};
+use exadigit_sim::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// One job as recorded by the physical twin (Table II "RAPS inputs").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Job name.
+    pub job_name: String,
+    /// Job id.
+    pub job_id: u64,
+    /// Nodes allocated.
+    pub node_count: usize,
+    /// Submission time, seconds from the start of the dataset.
+    pub submit_time_s: u64,
+    /// Recorded start time, seconds.
+    pub start_time_s: u64,
+    /// Wall time, seconds.
+    pub wall_time_s: u64,
+    /// Per-node CPU power trace, W at 15 s resolution.
+    pub cpu_power_w: Vec<f32>,
+    /// Per-node GPU power trace (per GPU), W at 15 s resolution.
+    pub gpu_power_w: Vec<f32>,
+}
+
+impl JobRecord {
+    /// Convert a power trace to a utilization trace by inverting the
+    /// linear idle/max interpolation of eq. (3) — the paper's approach.
+    pub fn to_job(&self, power: &NodePowerConfig) -> Job {
+        let cpu_util: Vec<f32> = self
+            .cpu_power_w
+            .iter()
+            .map(|&p| invert_linear(p as f64, power.cpu_idle_w, power.cpu_max_w) as f32)
+            .collect();
+        let gpu_util: Vec<f32> = self
+            .gpu_power_w
+            .iter()
+            .map(|&p| invert_linear(p as f64, power.gpu_idle_w, power.gpu_max_w) as f32)
+            .collect();
+        let mut job = Job::new(
+            self.job_id,
+            self.job_name.clone(),
+            self.node_count,
+            self.wall_time_s,
+            self.submit_time_s,
+            0.0,
+            0.0,
+        );
+        job.cpu_util = UtilTrace::Series { quantum_s: 15, values: cpu_util };
+        job.gpu_util = UtilTrace::Series { quantum_s: 15, values: gpu_util };
+        job
+    }
+
+    /// Build a record from a job by evaluating eq. (3) forward (used by
+    /// the synthetic twin when "recording" its own workload).
+    pub fn from_job(job: &Job, power: &NodePowerConfig, quantum_s: u32) -> JobRecord {
+        let steps = (job.wall_time_s / quantum_s as u64).max(1) as usize;
+        let mut cpu_power = Vec::with_capacity(steps);
+        let mut gpu_power = Vec::with_capacity(steps);
+        for i in 0..steps {
+            let t = i as u64 * quantum_s as u64;
+            let cu = job.cpu_util.at(t);
+            let gu = job.gpu_util.at(t);
+            cpu_power.push((power.cpu_idle_w + cu * (power.cpu_max_w - power.cpu_idle_w)) as f32);
+            gpu_power.push((power.gpu_idle_w + gu * (power.gpu_max_w - power.gpu_idle_w)) as f32);
+        }
+        JobRecord {
+            job_name: job.name.clone(),
+            job_id: job.id.0,
+            node_count: job.nodes,
+            submit_time_s: job.submit_time_s,
+            start_time_s: job.start_time_s.unwrap_or(job.submit_time_s),
+            wall_time_s: job.wall_time_s,
+            cpu_power_w: cpu_power,
+            gpu_power_w: gpu_power,
+        }
+    }
+}
+
+fn invert_linear(p: f64, idle: f64, max: f64) -> f64 {
+    ((p - idle) / (max - idle)).clamp(0.0, 1.0)
+}
+
+/// The cooling channels of Table II with their native resolutions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoolingChannels {
+    /// Per-CDU primary flow rates, 15 s.
+    pub cdu_primary_flow: Vec<TimeSeries>,
+    /// Per-CDU primary return temperatures, 15 s.
+    pub cdu_return_temp: Vec<TimeSeries>,
+    /// Per-CDU pump speeds, 15 s.
+    pub cdu_pump_speed: Vec<TimeSeries>,
+    /// Per-CDU pump power, 15 s.
+    pub cdu_pump_power: Vec<TimeSeries>,
+    /// HTW supply pressure, 30 s.
+    pub htw_supply_pressure: TimeSeries,
+    /// HTW supply temperature, 60 s.
+    pub htw_supply_temp: TimeSeries,
+    /// HTW return temperature, 60 s.
+    pub htw_return_temp: TimeSeries,
+    /// Facility HTW flow, 120 s.
+    pub htw_flow: TimeSeries,
+    /// PUE, 15 s interpolated.
+    pub pue: TimeSeries,
+}
+
+impl CoolingChannels {
+    /// Empty channel set for `num_cdus` CDUs starting at `t0`.
+    pub fn new(num_cdus: usize, t0: f64) -> Self {
+        let series15 = || TimeSeries::new(t0, 15.0);
+        CoolingChannels {
+            cdu_primary_flow: (0..num_cdus).map(|_| series15()).collect(),
+            cdu_return_temp: (0..num_cdus).map(|_| series15()).collect(),
+            cdu_pump_speed: (0..num_cdus).map(|_| series15()).collect(),
+            cdu_pump_power: (0..num_cdus).map(|_| series15()).collect(),
+            htw_supply_pressure: TimeSeries::new(t0, 30.0),
+            htw_supply_temp: TimeSeries::new(t0, 60.0),
+            htw_return_temp: TimeSeries::new(t0, 60.0),
+            htw_flow: TimeSeries::new(t0, 120.0),
+            pue: TimeSeries::new(t0, 15.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exadigit_raps::config::SystemConfig;
+
+    fn frontier_power() -> NodePowerConfig {
+        SystemConfig::frontier().node_power
+    }
+
+    #[test]
+    fn power_to_util_round_trip() {
+        let p = frontier_power();
+        let mut job = Job::new(7, "j", 16, 300, 0, 0.0, 0.0);
+        job.cpu_util = UtilTrace::Series { quantum_s: 15, values: vec![0.2, 0.5, 0.9] };
+        job.gpu_util = UtilTrace::Series { quantum_s: 15, values: vec![0.1, 0.79, 1.0] };
+        let rec = JobRecord::from_job(&job, &p, 15);
+        let back = rec.to_job(&p);
+        for t in [0u64, 15, 30] {
+            assert!((back.cpu_util.at(t) - job.cpu_util.at(t)).abs() < 1e-5);
+            assert!((back.gpu_util.at(t) - job.gpu_util.at(t)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn hpl_core_power_level_encoded() {
+        // The HPL core phase (GPU 79 %) corresponds to ~461 W per GPU.
+        let p = frontier_power();
+        let job = exadigit_raps::workload::hpl_job(1, 0);
+        let rec = JobRecord::from_job(&job, &p, 15);
+        let mid = rec.gpu_power_w[rec.gpu_power_w.len() / 2] as f64;
+        assert!((mid - (88.0 + 0.79 * 472.0)).abs() < 2.0, "mid={mid}");
+    }
+
+    #[test]
+    fn out_of_range_power_clamps() {
+        let p = frontier_power();
+        let rec = JobRecord {
+            job_name: "x".into(),
+            job_id: 1,
+            node_count: 1,
+            submit_time_s: 0,
+            start_time_s: 0,
+            wall_time_s: 60,
+            cpu_power_w: vec![10_000.0, -5.0],
+            gpu_power_w: vec![10_000.0, 0.0],
+        };
+        let job = rec.to_job(&p);
+        assert_eq!(job.cpu_util.at(0), 1.0);
+        assert_eq!(job.cpu_util.at(15), 0.0);
+        assert_eq!(job.gpu_util.at(0), 1.0);
+    }
+
+    #[test]
+    fn cooling_channels_sized() {
+        let c = CoolingChannels::new(25, 0.0);
+        assert_eq!(c.cdu_primary_flow.len(), 25);
+        assert_eq!(c.htw_supply_pressure.dt, 30.0);
+        assert_eq!(c.htw_supply_temp.dt, 60.0);
+        assert_eq!(c.htw_flow.dt, 120.0);
+        assert_eq!(c.pue.dt, 15.0);
+    }
+
+    #[test]
+    fn record_serialises() {
+        let p = frontier_power();
+        let job = Job::new(3, "serde", 8, 120, 5, 0.4, 0.6);
+        let rec = JobRecord::from_job(&job, &p, 15);
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: JobRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(rec, back);
+    }
+}

@@ -1,0 +1,144 @@
+//! Validation metrics — the Fig. 7 / Table III comparison machinery.
+//!
+//! §IV of the paper: "Overall, both the root mean square error (RMSE) and
+//! the mean absolute error (MAE) of the parameters shown in Fig. 7 are
+//! within reasonable bounds" and "The model-predicted PUE is within 1.4
+//! percent of the telemetry-based PUE". This module aligns a predicted
+//! channel against a measured channel (resampling across Table II's mixed
+//! cadences) and reports RMSE / MAE / MAPE.
+
+use exadigit_sim::stats::{mae, mape, rmse};
+use exadigit_sim::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// Comparison result for one telemetry channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelComparison {
+    /// Channel name (e.g. `cdu[3].primary_flow`).
+    pub name: String,
+    /// Samples compared after alignment.
+    pub samples: usize,
+    /// Root mean square error (channel units).
+    pub rmse: f64,
+    /// Mean absolute error (channel units).
+    pub mae: f64,
+    /// Mean absolute percentage error, %.
+    pub mape_percent: f64,
+    /// Mean of the measured channel (for normalising).
+    pub measured_mean: f64,
+    /// Mean of the predicted channel.
+    pub predicted_mean: f64,
+}
+
+impl ChannelComparison {
+    /// RMSE normalised by the measured mean, %.
+    pub fn nrmse_percent(&self) -> f64 {
+        if self.measured_mean.abs() < f64::EPSILON {
+            f64::NAN
+        } else {
+            100.0 * self.rmse / self.measured_mean.abs()
+        }
+    }
+
+    /// Relative bias of the means, % (the Fig. 7d PUE criterion).
+    pub fn mean_bias_percent(&self) -> f64 {
+        if self.measured_mean.abs() < f64::EPSILON {
+            f64::NAN
+        } else {
+            100.0 * (self.predicted_mean - self.measured_mean) / self.measured_mean
+        }
+    }
+}
+
+/// Align two channels on the coarser of their cadences over their common
+/// span and compute the error metrics. Leading `skip_s` seconds are
+/// discarded (model spin-up, per Finding 8's replay methodology).
+pub fn compare_channels(
+    name: impl Into<String>,
+    predicted: &TimeSeries,
+    measured: &TimeSeries,
+    skip_s: f64,
+) -> ChannelComparison {
+    assert!(!predicted.is_empty() && !measured.is_empty(), "empty channel");
+    let dt = predicted.dt.max(measured.dt);
+    let t_start = (predicted.t0.max(measured.t0) + skip_s).max(0.0);
+    let t_end = predicted
+        .end_time()
+        .expect("non-empty")
+        .min(measured.end_time().expect("non-empty"));
+    assert!(t_end > t_start, "channels do not overlap after skip");
+    let n = ((t_end - t_start) / dt).floor() as usize + 1;
+    let mut p = Vec::with_capacity(n);
+    let mut m = Vec::with_capacity(n);
+    for i in 0..n {
+        let t = t_start + i as f64 * dt;
+        p.push(predicted.sample_at(t));
+        m.push(measured.sample_at(t));
+    }
+    let p_mean = p.iter().sum::<f64>() / n as f64;
+    let m_mean = m.iter().sum::<f64>() / n as f64;
+    ChannelComparison {
+        name: name.into(),
+        samples: n,
+        rmse: rmse(&p, &m),
+        mae: mae(&p, &m),
+        mape_percent: mape(&p, &m),
+        measured_mean: m_mean,
+        predicted_mean: p_mean,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_channels_have_zero_error() {
+        let s = TimeSeries::from_values(0.0, 15.0, (0..100).map(|i| 30.0 + i as f64 * 0.01).collect());
+        let c = compare_channels("t", &s, &s, 0.0);
+        assert_eq!(c.rmse, 0.0);
+        assert_eq!(c.mae, 0.0);
+        assert!(c.mean_bias_percent().abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_offset_detected() {
+        let m = TimeSeries::from_values(0.0, 15.0, vec![10.0; 50]);
+        let p = m.map(|v| v + 0.5);
+        let c = compare_channels("t", &p, &m, 0.0);
+        assert!((c.rmse - 0.5).abs() < 1e-12);
+        assert!((c.mae - 0.5).abs() < 1e-12);
+        assert!((c.mape_percent - 5.0).abs() < 1e-9);
+        assert!((c.mean_bias_percent() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_cadence_alignment() {
+        // 15 s predicted vs 60 s measured: aligned on 60 s.
+        let p = TimeSeries::from_values(0.0, 15.0, (0..241).map(|i| i as f64).collect());
+        let m = TimeSeries::from_values(0.0, 60.0, (0..61).map(|i| (i * 4) as f64).collect());
+        let c = compare_channels("t", &p, &m, 0.0);
+        assert!(c.rmse < 1e-9, "rmse={}", c.rmse);
+        assert_eq!(c.samples, 61);
+    }
+
+    #[test]
+    fn skip_discards_spinup() {
+        let mut values = vec![99.0; 10];
+        values.extend(vec![1.0; 90]);
+        let m = TimeSeries::from_values(0.0, 15.0, vec![1.0; 100]);
+        let p = TimeSeries::from_values(0.0, 15.0, values);
+        let with_spinup = compare_channels("t", &p, &m, 0.0);
+        let skipped = compare_channels("t", &p, &m, 10.0 * 15.0);
+        assert!(skipped.rmse < with_spinup.rmse);
+        assert!(skipped.rmse < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn non_overlapping_channels_panic() {
+        let a = TimeSeries::from_values(0.0, 15.0, vec![1.0; 4]);
+        let b = TimeSeries::from_values(1e6, 15.0, vec![1.0; 4]);
+        compare_channels("t", &a, &b, 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Telemetry writers: CSV for job records and time series, JSON for
+//! whole datasets. Counterparts to the [`crate::reader`] plug-ins.
+
+use crate::schema::JobRecord;
+use exadigit_sim::TimeSeries;
+use std::fmt::Write as _;
+
+/// Serialise job records to the native CSV format (see
+/// [`crate::reader::CsvJobReader`] for the schema).
+pub fn jobs_to_csv(jobs: &[JobRecord]) -> String {
+    let mut out = String::with_capacity(jobs.len() * 128 + 64);
+    out.push_str("job_id,name,node_count,submit,start,wall,cpu_trace,gpu_trace\n");
+    for j in jobs {
+        let cpu = join_trace(&j.cpu_power_w);
+        let gpu = join_trace(&j.gpu_power_w);
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{}",
+            j.job_id,
+            sanitize(&j.job_name),
+            j.node_count,
+            j.submit_time_s,
+            j.start_time_s,
+            j.wall_time_s,
+            cpu,
+            gpu
+        );
+    }
+    out
+}
+
+/// Serialise a time series to two-column CSV (`time_s,value`).
+pub fn series_to_csv(series: &TimeSeries, header: &str) -> String {
+    let mut out = String::with_capacity(series.len() * 24 + header.len() + 16);
+    let _ = writeln!(out, "time_s,{header}");
+    for (t, v) in series.iter() {
+        let _ = writeln!(out, "{t},{v}");
+    }
+    out
+}
+
+/// Parse a two-column CSV back into a time series (assumes a uniform step,
+/// taken from the first two rows).
+pub fn series_from_csv(content: &str) -> Option<TimeSeries> {
+    let mut times = Vec::new();
+    let mut values = Vec::new();
+    for (i, line) in content.lines().enumerate() {
+        if i == 0 || line.trim().is_empty() {
+            continue;
+        }
+        let (t, v) = line.split_once(',')?;
+        times.push(t.trim().parse::<f64>().ok()?);
+        values.push(v.trim().parse::<f64>().ok()?);
+    }
+    if times.len() < 2 {
+        return None;
+    }
+    let dt = times[1] - times[0];
+    if dt <= 0.0 {
+        return None;
+    }
+    Some(TimeSeries::from_values(times[0], dt, values))
+}
+
+fn join_trace(trace: &[f32]) -> String {
+    let mut s = String::with_capacity(trace.len() * 8);
+    for (i, v) in trace.iter().enumerate() {
+        if i > 0 {
+            s.push(';');
+        }
+        let _ = write!(s, "{v}");
+    }
+    s
+}
+
+fn sanitize(name: &str) -> String {
+    name.replace([',', '\n', ';'], "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::TelemetryReader;
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let rec = JobRecord {
+            job_id: 1,
+            job_name: "test".into(),
+            node_count: 2,
+            submit_time_s: 0,
+            start_time_s: 0,
+            wall_time_s: 30,
+            cpu_power_w: vec![100.0],
+            gpu_power_w: vec![400.0],
+        };
+        let csv = jobs_to_csv(&[rec]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("job_id"));
+        assert!(lines[1].starts_with("1,test,2,"));
+    }
+
+    #[test]
+    fn names_with_commas_sanitised() {
+        let rec = JobRecord {
+            job_id: 1,
+            job_name: "bad,name;x".into(),
+            node_count: 1,
+            submit_time_s: 0,
+            start_time_s: 0,
+            wall_time_s: 30,
+            cpu_power_w: vec![],
+            gpu_power_w: vec![],
+        };
+        let csv = jobs_to_csv(&[rec]);
+        let parsed = crate::reader::CsvJobReader.read_jobs(&csv).unwrap();
+        assert_eq!(parsed[0].job_name, "bad_name_x");
+    }
+
+    #[test]
+    fn series_round_trip() {
+        let s = TimeSeries::from_values(0.0, 15.0, vec![1.5, 2.5, 3.5]);
+        let csv = series_to_csv(&s, "power_w");
+        let back = series_from_csv(&csv).unwrap();
+        assert_eq!(back.dt, 15.0);
+        assert_eq!(back.values, s.values);
+    }
+
+    #[test]
+    fn series_from_garbage_is_none() {
+        assert!(series_from_csv("").is_none());
+        assert!(series_from_csv("time_s,v\n1,abc\n2,3").is_none());
+    }
+}

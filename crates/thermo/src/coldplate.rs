@@ -1,0 +1,109 @@
+//! Cold-plate thermal model.
+//!
+//! Each Frontier blade carries two CPU cold plates and eight GPU cold
+//! plates (§III-C1). The paper's requirements analysis (§III-A) lists
+//! "early detection of thermal throttling" and "water quality issues ...
+//! causing blockage to specific nodes" as target use cases; both need a
+//! junction-temperature estimate from coolant conditions. The standard
+//! vendor datum is a thermal resistance curve `R(Q)` (K/W as a function of
+//! coolant flow), which we model as `R(Q) = R_conv0 · (Q/Q_design)^-0.8 +
+//! R_cond` — convective part scaling with flow, conductive part fixed.
+
+use serde::{Deserialize, Serialize};
+
+/// A cold plate with a flow-dependent thermal resistance curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColdPlate {
+    /// Convective resistance at design flow, K/W.
+    pub r_conv_design: f64,
+    /// Conductive (flow-independent) resistance, K/W.
+    pub r_cond: f64,
+    /// Design coolant flow through the plate, m³/s.
+    pub q_design: f64,
+}
+
+impl ColdPlate {
+    /// MI250X GPU cold plate: ~560 W max, junction limited at ~95 °C with
+    /// ~32 °C coolant → total R ≈ 0.08 K/W at design flow.
+    pub fn gpu() -> Self {
+        ColdPlate { r_conv_design: 0.055, r_cond: 0.025, q_design: 1.0e-5 }
+    }
+
+    /// Trento CPU cold plate: ~280 W max → R ≈ 0.12 K/W at design flow.
+    pub fn cpu() -> Self {
+        ColdPlate { r_conv_design: 0.085, r_cond: 0.035, q_design: 8.0e-6 }
+    }
+
+    /// Thermal resistance (K/W) at coolant flow `q` (m³/s). Flow is floored
+    /// at 1 % of design to keep the curve finite under full blockage.
+    pub fn resistance(&self, q: f64) -> f64 {
+        let q_rel = (q / self.q_design).max(0.01);
+        self.r_conv_design * q_rel.powf(-0.8) + self.r_cond
+    }
+
+    /// Junction (die) temperature for dissipated power `power_w` with
+    /// coolant at `t_coolant` °C flowing at `q` m³/s.
+    pub fn junction_temperature(&self, power_w: f64, t_coolant: f64, q: f64) -> f64 {
+        t_coolant + self.resistance(q) * power_w
+    }
+
+    /// True when the junction would exceed `t_throttle` °C — the thermal
+    /// throttling predicate used by the twin's diagnostics.
+    pub fn would_throttle(&self, power_w: f64, t_coolant: f64, q: f64, t_throttle: f64) -> bool {
+        self.junction_temperature(power_w, t_coolant, q) > t_throttle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_at_design_stays_cool() {
+        let p = ColdPlate::gpu();
+        let tj = p.junction_temperature(560.0, 32.0, p.q_design);
+        assert!(tj < 95.0, "tj={tj}");
+        assert!(tj > 32.0);
+    }
+
+    #[test]
+    fn resistance_rises_as_flow_drops() {
+        let p = ColdPlate::gpu();
+        let r_full = p.resistance(p.q_design);
+        let r_half = p.resistance(p.q_design * 0.5);
+        let r_tenth = p.resistance(p.q_design * 0.1);
+        assert!(r_half > r_full);
+        assert!(r_tenth > r_half);
+    }
+
+    #[test]
+    fn blockage_triggers_throttle_detection() {
+        let p = ColdPlate::gpu();
+        // Full flow at max power: no throttle at a 95 °C limit.
+        assert!(!p.would_throttle(560.0, 32.0, p.q_design, 95.0));
+        // 90 % blockage: junction rockets past the limit.
+        assert!(p.would_throttle(560.0, 32.0, p.q_design * 0.1, 95.0));
+    }
+
+    #[test]
+    fn cpu_plate_higher_resistance() {
+        assert!(
+            ColdPlate::cpu().resistance(ColdPlate::cpu().q_design)
+                > ColdPlate::gpu().resistance(ColdPlate::gpu().q_design)
+        );
+    }
+
+    #[test]
+    fn zero_power_equals_coolant_temp() {
+        let p = ColdPlate::gpu();
+        assert_eq!(p.junction_temperature(0.0, 30.0, p.q_design), 30.0);
+    }
+
+    #[test]
+    fn fully_blocked_flow_is_finite() {
+        let p = ColdPlate::gpu();
+        let r = p.resistance(0.0);
+        assert!(r.is_finite());
+        assert!(r > p.resistance(p.q_design));
+    }
+}

@@ -1,0 +1,164 @@
+//! Fluid property correlations.
+//!
+//! The cooling model needs density, specific heat, viscosity and thermal
+//! conductivity of the coolant as functions of temperature. Frontier's
+//! facility loops run treated water; the blade-level loop runs a
+//! water/propylene-glycol mixture. The correlations below are polynomial
+//! fits to standard reference data (IAPWS-97 region for liquid water at
+//! atmospheric pressure, ASHRAE for the glycol mixture), accurate to well
+//! under 1 % over the 5–60 °C operating band of the plant — far below the
+//! model-form error of a system-level twin (Finding 6 of the paper argues
+//! against chasing fidelity beyond this).
+
+use serde::{Deserialize, Serialize};
+
+/// Coolant selection for a loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Fluid {
+    /// Treated facility water (cooling-tower, primary, CDU primary side).
+    #[default]
+    Water,
+    /// 25 % propylene glycol / water by mass (blade-level secondary loop).
+    PropyleneGlycol25,
+}
+
+impl Fluid {
+    /// Density in kg/m³ at temperature `t` (°C).
+    pub fn density(&self, t: f64) -> f64 {
+        match self {
+            Fluid::Water => {
+                // Kell-style fit, liquid water 0-100 °C, max error < 0.05 kg/m³.
+                999.84 + 0.0673 * t - 0.00894 * t * t + 8.78e-5 * t * t * t - 6.62e-7 * t.powi(4)
+            }
+            Fluid::PropyleneGlycol25 => {
+                // ASHRAE: ~2 % denser than water, slightly steeper slope.
+                1023.0 - 0.28 * t - 0.0022 * t * t
+            }
+        }
+    }
+
+    /// Isobaric specific heat in J/(kg·K) at temperature `t` (°C).
+    pub fn specific_heat(&self, t: f64) -> f64 {
+        match self {
+            Fluid::Water => {
+                // Liquid water: minimum near 35 °C, ~4178-4186 over band.
+                4217.4 - 3.720 * t + 0.1412 * t * t - 2.654e-3 * t * t * t + 2.093e-5 * t.powi(4)
+            }
+            Fluid::PropyleneGlycol25 => 3974.0 + 2.9 * t,
+        }
+    }
+
+    /// Dynamic viscosity in Pa·s at temperature `t` (°C).
+    pub fn viscosity(&self, t: f64) -> f64 {
+        match self {
+            Fluid::Water => {
+                // Vogel-type fit for liquid water.
+                2.414e-5 * 10f64.powf(247.8 / (t + 273.15 - 140.0))
+            }
+            Fluid::PropyleneGlycol25 => {
+                // Roughly 2.3x water at 20 °C with steeper T-dependence.
+                5.5e-5 * 10f64.powf(255.0 / (t + 273.15 - 140.0))
+            }
+        }
+    }
+
+    /// Thermal conductivity in W/(m·K) at temperature `t` (°C).
+    pub fn conductivity(&self, t: f64) -> f64 {
+        match self {
+            Fluid::Water => 0.5562 + 1.99e-3 * t - 8.67e-6 * t * t,
+            Fluid::PropyleneGlycol25 => 0.476 + 1.1e-3 * t,
+        }
+    }
+
+    /// Volumetric heat capacity ρ·cp in J/(m³·K) — the factor in eq. (7) of
+    /// the paper, `H = ρ · Q · ΔT · c`.
+    pub fn volumetric_heat_capacity(&self, t: f64) -> f64 {
+        self.density(t) * self.specific_heat(t)
+    }
+}
+
+/// Heat carried by a stream, eq. (7) of the paper: `H = ρ · Q · ΔT · c`
+/// with `Q` volumetric flow in m³/s and `ΔT` in K; returns watts.
+pub fn stream_heat(fluid: Fluid, t_mean: f64, flow_m3s: f64, delta_t: f64) -> f64 {
+    fluid.volumetric_heat_capacity(t_mean) * flow_m3s * delta_t
+}
+
+/// Convert gallons-per-minute (the unit the paper quotes pump flows in,
+/// e.g. "9000-10000 gpm") to m³/s.
+pub fn gpm_to_m3s(gpm: f64) -> f64 {
+    gpm * 3.785_411_784e-3 / 60.0
+}
+
+/// Convert m³/s to gallons-per-minute for report output.
+pub fn m3s_to_gpm(m3s: f64) -> f64 {
+    m3s * 60.0 / 3.785_411_784e-3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn water_density_reference_points() {
+        // Reference: 998.2 kg/m³ @ 20 °C, 992.2 @ 40 °C.
+        assert!((Fluid::Water.density(20.0) - 998.2).abs() < 0.5);
+        assert!((Fluid::Water.density(40.0) - 992.2).abs() < 0.8);
+    }
+
+    #[test]
+    fn water_cp_reference_points() {
+        // Reference: ~4181.8 J/kg-K @ 25 °C.
+        let cp = Fluid::Water.specific_heat(25.0);
+        assert!((cp - 4181.8).abs() < 10.0, "cp={cp}");
+    }
+
+    #[test]
+    fn water_viscosity_reference_points() {
+        // Reference: ~1.002e-3 Pa·s @ 20 °C, ~0.653e-3 @ 40 °C.
+        assert!((Fluid::Water.viscosity(20.0) - 1.002e-3).abs() < 3e-5);
+        assert!((Fluid::Water.viscosity(40.0) - 0.653e-3).abs() < 3e-5);
+    }
+
+    #[test]
+    fn water_conductivity_reference() {
+        // ~0.598 W/m-K @ 20 °C.
+        assert!((Fluid::Water.conductivity(20.0) - 0.598).abs() < 0.01);
+    }
+
+    #[test]
+    fn glycol_denser_and_more_viscous_than_water() {
+        let t = 30.0;
+        assert!(Fluid::PropyleneGlycol25.density(t) > Fluid::Water.density(t));
+        assert!(Fluid::PropyleneGlycol25.viscosity(t) > Fluid::Water.viscosity(t));
+        assert!(Fluid::PropyleneGlycol25.specific_heat(t) < Fluid::Water.specific_heat(t));
+    }
+
+    #[test]
+    fn stream_heat_matches_eq7() {
+        // 1 m³/s of water with 10 K rise at 30 °C: ~41.6 MW.
+        let h = stream_heat(Fluid::Water, 30.0, 1.0, 10.0);
+        assert!((h - 41.6e6).abs() / 41.6e6 < 0.01, "h={h}");
+    }
+
+    #[test]
+    fn gpm_round_trip() {
+        let q = gpm_to_m3s(9500.0); // CTWP band from the paper
+        assert!((m3s_to_gpm(q) - 9500.0).abs() < 1e-9);
+        // 9500 gpm ≈ 0.599 m³/s
+        assert!((q - 0.5993).abs() < 0.001, "q={q}");
+    }
+
+    #[test]
+    fn properties_are_smooth_over_operating_band() {
+        for fluid in [Fluid::Water, Fluid::PropyleneGlycol25] {
+            let mut prev = fluid.density(5.0);
+            for i in 1..=55 {
+                let t = 5.0 + i as f64;
+                let d = fluid.density(t);
+                assert!(d > 900.0 && d < 1100.0);
+                assert!((d - prev).abs() < 1.0, "density jump at {t}");
+                prev = d;
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! PID controllers.
+//!
+//! §III-C5 of the paper: "A PID controller is used to regulate the CDU
+//! relative percent pump speeds based on the loop differential pressure",
+//! plus PID regulation of the HTWPs and CTWP header pressure. "Most of the
+//! PID parameters have been taken from the physical controller where
+//! available, and tuned using telemetry data where parameters were not
+//! available." This implementation uses the standard parallel form with
+//! derivative-on-measurement (avoids setpoint-kick) and conditional-
+//! integration anti-windup (stops integrating when the output saturates in
+//! the same direction) — the behaviour industrial PLC blocks exhibit.
+
+use serde::{Deserialize, Serialize};
+
+/// A discrete PID controller in parallel form.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pid {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain (1/s).
+    pub ki: f64,
+    /// Derivative gain (s).
+    pub kd: f64,
+    /// Output lower bound.
+    pub out_min: f64,
+    /// Output upper bound.
+    pub out_max: f64,
+    /// Setpoint.
+    pub setpoint: f64,
+    /// `true` for reverse-acting loops (increase output when measurement is
+    /// above setpoint — e.g. open a cooling valve on rising temperature).
+    pub reverse_acting: bool,
+    integral: f64,
+    prev_measurement: Option<f64>,
+}
+
+impl Pid {
+    /// New controller with the given gains and output limits.
+    pub fn new(kp: f64, ki: f64, kd: f64, out_min: f64, out_max: f64) -> Self {
+        assert!(out_max > out_min);
+        Pid {
+            kp,
+            ki,
+            kd,
+            out_min,
+            out_max,
+            setpoint: 0.0,
+            reverse_acting: false,
+            integral: 0.0,
+            prev_measurement: None,
+        }
+    }
+
+    /// Builder-style setpoint.
+    pub fn with_setpoint(mut self, sp: f64) -> Self {
+        self.setpoint = sp;
+        self
+    }
+
+    /// Builder-style reverse action.
+    pub fn reverse(mut self) -> Self {
+        self.reverse_acting = true;
+        self
+    }
+
+    /// Pre-load the integral term so the loop starts at `output` — bumpless
+    /// start at a known operating point (the paper's model begins after the
+    /// plant's start-up sequence completes).
+    pub fn initialize_output(&mut self, output: f64) {
+        self.integral = output.clamp(self.out_min, self.out_max);
+        self.prev_measurement = None;
+    }
+
+    /// Advance the controller by `dt` seconds given the `measurement`;
+    /// returns the clamped actuator command.
+    pub fn update(&mut self, measurement: f64, dt: f64) -> f64 {
+        assert!(dt > 0.0);
+        let sign = if self.reverse_acting { -1.0 } else { 1.0 };
+        let error = sign * (self.setpoint - measurement);
+
+        // Derivative on measurement (sign-adjusted), first call uses zero.
+        let derivative = match self.prev_measurement {
+            Some(prev) => -sign * (measurement - prev) / dt,
+            None => 0.0,
+        };
+        self.prev_measurement = Some(measurement);
+
+        let unclamped = self.kp * error + self.integral + self.ki * error * dt + self.kd * derivative;
+        let output = unclamped.clamp(self.out_min, self.out_max);
+
+        // Conditional integration: only integrate when not pushing further
+        // into saturation.
+        let saturated_high = unclamped > self.out_max && error > 0.0;
+        let saturated_low = unclamped < self.out_min && error < 0.0;
+        if !saturated_high && !saturated_low {
+            self.integral += self.ki * error * dt;
+            self.integral = self.integral.clamp(self.out_min, self.out_max);
+        }
+
+        output
+    }
+
+    /// Current integral state (for diagnostics/tests).
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// First-order plant: y' = (u - y)/tau.
+    fn simulate(pid: &mut Pid, y0: f64, tau: f64, steps: usize, dt: f64) -> Vec<f64> {
+        let mut y = y0;
+        let mut trace = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let u = pid.update(y, dt);
+            y += (u - y) / tau * dt;
+            trace.push(y);
+        }
+        trace
+    }
+
+    #[test]
+    fn converges_to_setpoint() {
+        let mut pid = Pid::new(2.0, 0.5, 0.0, 0.0, 100.0).with_setpoint(50.0);
+        let trace = simulate(&mut pid, 10.0, 5.0, 2000, 0.1);
+        let last = *trace.last().unwrap();
+        assert!((last - 50.0).abs() < 0.1, "last={last}");
+    }
+
+    #[test]
+    fn output_respects_limits() {
+        let mut pid = Pid::new(100.0, 10.0, 0.0, 0.0, 1.0).with_setpoint(1000.0);
+        for _ in 0..100 {
+            let u = pid.update(0.0, 1.0);
+            assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn anti_windup_limits_integral() {
+        let mut pid = Pid::new(1.0, 1.0, 0.0, 0.0, 1.0).with_setpoint(1000.0);
+        for _ in 0..1000 {
+            pid.update(0.0, 1.0);
+        }
+        // Integral must be clamped at out_max, not 1e6.
+        assert!(pid.integral() <= 1.0 + 1e-12);
+        // Recovery: setpoint drops below measurement, output must unwind fast.
+        pid.setpoint = 0.0;
+        let mut steps_to_zero = 0;
+        for _ in 0..100 {
+            let u = pid.update(10.0, 1.0);
+            steps_to_zero += 1;
+            if u <= 0.0 + 1e-9 {
+                break;
+            }
+        }
+        assert!(steps_to_zero < 20, "windup recovery too slow: {steps_to_zero}");
+    }
+
+    #[test]
+    fn reverse_acting_increases_output_above_setpoint() {
+        // Cooling loop: measurement above setpoint must raise the command.
+        let mut pid = Pid::new(1.0, 0.1, 0.0, 0.0, 1.0).with_setpoint(30.0).reverse();
+        let hot = pid.update(35.0, 1.0);
+        let mut pid2 = Pid::new(1.0, 0.1, 0.0, 0.0, 1.0).with_setpoint(30.0).reverse();
+        let cold = pid2.update(25.0, 1.0);
+        assert!(hot > cold);
+    }
+
+    #[test]
+    fn derivative_opposes_measurement_rise() {
+        let mut no_d = Pid::new(1.0, 0.0, 0.0, -10.0, 10.0).with_setpoint(0.0);
+        let mut with_d = Pid::new(1.0, 0.0, 2.0, -10.0, 10.0).with_setpoint(0.0);
+        no_d.update(0.0, 1.0);
+        with_d.update(0.0, 1.0);
+        // Measurement jumps up: the D term must pull the output down
+        // relative to the derivative-free controller.
+        let u1 = no_d.update(1.0, 1.0);
+        let u2 = with_d.update(1.0, 1.0);
+        assert!(u2 < u1, "u1={u1} u2={u2}");
+    }
+
+    #[test]
+    fn no_derivative_kick_on_setpoint_change() {
+        // Derivative acts on the measurement, so a setpoint step with a
+        // constant measurement must produce no D contribution at all.
+        let mut pid = Pid::new(1.0, 0.0, 5.0, -100.0, 100.0).with_setpoint(0.0);
+        pid.update(10.0, 1.0);
+        pid.setpoint = 50.0;
+        let u = pid.update(10.0, 1.0);
+        // Pure proportional response: kp * (50 - 10) = 40, no kd spike.
+        assert!((u - 40.0).abs() < 1e-9, "u={u}");
+    }
+
+    #[test]
+    fn bumpless_initialization() {
+        let mut pid = Pid::new(1.0, 0.05, 0.0, 0.0, 1.0).with_setpoint(20.0);
+        pid.initialize_output(0.6);
+        // At setpoint, the first output should be exactly the preload.
+        let u = pid.update(20.0, 1.0);
+        assert!((u - 0.6).abs() < 1e-9, "u={u}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Hydraulic resistances, transport delay, and thermal volumes.
+//!
+//! These are the "volumes (reservoirs) for mass sources, resistances for
+//! pressure drops ... and sensors" the paper assembles its sub-models from
+//! (§III-C4, citing the templated layout of Greenwood et al.). The
+//! hydraulic side is quadratic (`ΔP = k·Q·|Q|`, turbulent regime — plant
+//! piping Reynolds numbers are ≫ 10⁴); the thermal side combines plug-flow
+//! transport delay with well-mixed lumped capacitance.
+
+use crate::fluid::Fluid;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A fixed quadratic hydraulic resistance: `ΔP = k · Q · |Q|`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HydraulicResistance {
+    /// Resistance coefficient, Pa/(m³/s)².
+    pub k: f64,
+}
+
+impl HydraulicResistance {
+    /// Resistance from a design point (`dp_design` Pa at `q_design` m³/s).
+    pub fn from_design(q_design: f64, dp_design: f64) -> Self {
+        assert!(q_design > 0.0 && dp_design >= 0.0);
+        HydraulicResistance { k: dp_design / (q_design * q_design) }
+    }
+
+    /// Pressure drop at flow `q` (signed).
+    #[inline]
+    pub fn pressure_drop(&self, q: f64) -> f64 {
+        self.k * q * q.abs()
+    }
+
+    /// d(ΔP)/dQ — for the Newton hydraulic solver. Regularised near zero
+    /// flow so the Jacobian never becomes singular.
+    #[inline]
+    pub fn dpressure_dflow(&self, q: f64) -> f64 {
+        const Q_EPS: f64 = 1e-6;
+        2.0 * self.k * q.abs().max(Q_EPS)
+    }
+
+    /// Flow through the resistance for a given pressure drop (inverse).
+    pub fn flow_for_drop(&self, dp: f64) -> f64 {
+        let mag = (dp.abs() / self.k).sqrt();
+        if dp >= 0.0 {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+/// Plug-flow transport delay: what goes in comes out `volume/flow` seconds
+/// later. Models the long site piping between the CEP and the data hall —
+/// the source of the staging lag the control model must handle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TransportDelay {
+    /// Pipe internal volume, m³.
+    pub volume_m3: f64,
+    /// Buffered (temperature, fluid-volume) slugs, oldest at the front.
+    slugs: VecDeque<(f64, f64)>,
+    /// Total fluid volume currently buffered.
+    buffered_m3: f64,
+    /// Outlet temperature when the buffer has never been filled.
+    initial_temp: f64,
+}
+
+impl TransportDelay {
+    /// New delay line initially filled with fluid at `initial_temp` °C.
+    pub fn new(volume_m3: f64, initial_temp: f64) -> Self {
+        assert!(volume_m3 > 0.0);
+        let mut slugs = VecDeque::new();
+        slugs.push_back((initial_temp, volume_m3));
+        TransportDelay { volume_m3, slugs, buffered_m3: volume_m3, initial_temp }
+    }
+
+    /// Push fluid at `t_in` °C flowing at `q` m³/s for `dt` s; returns the
+    /// flow-weighted outlet temperature over the interval.
+    pub fn step(&mut self, t_in: f64, q: f64, dt: f64) -> f64 {
+        let vol_in = (q * dt).max(0.0);
+        if vol_in <= 0.0 {
+            // No flow: outlet holds the oldest temperature.
+            return self.slugs.front().map_or(self.initial_temp, |s| s.0);
+        }
+        self.slugs.push_back((t_in, vol_in));
+        self.buffered_m3 += vol_in;
+        // Drain the same volume from the oldest slugs.
+        let mut to_drain = vol_in;
+        let mut t_weighted = 0.0;
+        while to_drain > 0.0 {
+            let Some(front) = self.slugs.front_mut() else { break };
+            if front.1 <= to_drain {
+                t_weighted += front.0 * front.1;
+                to_drain -= front.1;
+                self.buffered_m3 -= front.1;
+                self.slugs.pop_front();
+            } else {
+                t_weighted += front.0 * to_drain;
+                front.1 -= to_drain;
+                self.buffered_m3 -= to_drain;
+                to_drain = 0.0;
+            }
+        }
+        t_weighted / vol_in
+    }
+
+    /// Current mean temperature of the buffered fluid.
+    pub fn mean_temperature(&self) -> f64 {
+        if self.buffered_m3 <= 0.0 {
+            return self.initial_temp;
+        }
+        self.slugs.iter().map(|(t, v)| t * v).sum::<f64>() / self.buffered_m3
+    }
+}
+
+/// A well-mixed thermal volume (lumped capacitance):
+/// `M·cp·dT/dt = ṁ·cp·(T_in − T) + Q_ext`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalVolume {
+    /// Fluid mass in the volume, kg.
+    pub mass_kg: f64,
+    /// Fluid for property evaluation.
+    pub fluid: Fluid,
+    /// Current temperature, °C.
+    pub temperature: f64,
+}
+
+impl ThermalVolume {
+    /// New volume at `initial_temp` °C holding `mass_kg` of `fluid`.
+    pub fn new(mass_kg: f64, fluid: Fluid, initial_temp: f64) -> Self {
+        assert!(mass_kg > 0.0);
+        ThermalVolume { mass_kg, fluid, temperature: initial_temp }
+    }
+
+    /// Advance by `dt` seconds with inlet `t_in` °C at `mdot` kg/s and
+    /// external heat `q_ext_w` W (positive heats the volume). Uses the
+    /// exact exponential update for the linear ODE so arbitrarily long
+    /// steps remain stable (important: the cooling model steps at 15 s but
+    /// CDU volumes have time constants of the same order).
+    pub fn step(&mut self, t_in: f64, mdot: f64, q_ext_w: f64, dt: f64) {
+        let cp = self.fluid.specific_heat(self.temperature);
+        let c_thermal = self.mass_kg * cp;
+        if mdot <= 1e-12 {
+            // Pure integration of external heat.
+            self.temperature += q_ext_w * dt / c_thermal;
+            return;
+        }
+        // dT/dt = a(T_inf - T) with a = mdot/M, T_inf = t_in + q/(mdot cp)
+        let a = mdot / self.mass_kg;
+        let t_inf = t_in + q_ext_w / (mdot * cp);
+        let decay = (-a * dt).exp();
+        self.temperature = t_inf + (self.temperature - t_inf) * decay;
+    }
+
+    /// Outlet temperature (well-mixed: equals the volume temperature).
+    pub fn outlet_temperature(&self) -> f64 {
+        self.temperature
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resistance_design_point() {
+        let r = HydraulicResistance::from_design(0.3, 90_000.0);
+        assert!((r.pressure_drop(0.3) - 90_000.0).abs() < 1e-9);
+        assert!((r.flow_for_drop(90_000.0) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resistance_sign_convention() {
+        let r = HydraulicResistance::from_design(0.3, 90_000.0);
+        assert!(r.pressure_drop(-0.3) < 0.0);
+        assert!((r.flow_for_drop(-90_000.0) + 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jacobian_never_zero() {
+        let r = HydraulicResistance::from_design(0.3, 90_000.0);
+        assert!(r.dpressure_dflow(0.0) > 0.0);
+    }
+
+    #[test]
+    fn transport_delay_delays() {
+        // 1 m³ pipe at 20 °C, 0.1 m³/s -> 10 s residence time.
+        let mut d = TransportDelay::new(1.0, 20.0);
+        // For the first ~10 s the outlet must still show 20 °C fluid.
+        let early = d.step(50.0, 0.1, 5.0);
+        assert!((early - 20.0).abs() < 1e-9);
+        // After a further 10 s the hot front has arrived.
+        d.step(50.0, 0.1, 5.0);
+        let late = d.step(50.0, 0.1, 5.0);
+        assert!(late > 45.0, "late={late}");
+    }
+
+    #[test]
+    fn transport_delay_conserves_volume() {
+        let mut d = TransportDelay::new(2.0, 15.0);
+        for i in 0..100 {
+            d.step(15.0 + i as f64 * 0.1, 0.05, 3.0);
+        }
+        assert!((d.buffered_m3 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_flow_holds_outlet() {
+        let mut d = TransportDelay::new(1.0, 22.0);
+        assert_eq!(d.step(80.0, 0.0, 15.0), 22.0);
+    }
+
+    #[test]
+    fn thermal_volume_approaches_inlet() {
+        let mut v = ThermalVolume::new(500.0, Fluid::Water, 20.0);
+        for _ in 0..1000 {
+            v.step(35.0, 10.0, 0.0, 1.0);
+        }
+        assert!((v.temperature - 35.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn thermal_volume_heat_raises_steady_state() {
+        // Steady state: T = T_in + Q/(mdot cp).
+        let mut v = ThermalVolume::new(500.0, Fluid::Water, 20.0);
+        let q = 100_000.0;
+        let mdot = 5.0;
+        for _ in 0..5000 {
+            v.step(20.0, mdot, q, 1.0);
+        }
+        let cp = Fluid::Water.specific_heat(v.temperature);
+        let expected = 20.0 + q / (mdot * cp);
+        assert!((v.temperature - expected).abs() < 0.05, "T={}", v.temperature);
+    }
+
+    #[test]
+    fn thermal_volume_stable_at_long_steps() {
+        // Exponential update must not overshoot even when dt >> tau.
+        let mut v = ThermalVolume::new(10.0, Fluid::Water, 20.0);
+        v.step(40.0, 100.0, 0.0, 3600.0);
+        assert!((v.temperature - 40.0).abs() < 1e-6);
+        assert!(v.temperature <= 40.0 + 1e-9);
+    }
+
+    #[test]
+    fn thermal_volume_no_flow_integrates_heat() {
+        let mut v = ThermalVolume::new(100.0, Fluid::Water, 20.0);
+        let cp = Fluid::Water.specific_heat(20.0);
+        v.step(99.0, 0.0, 1000.0, 60.0);
+        let expected = 20.0 + 1000.0 * 60.0 / (100.0 * cp);
+        assert!((v.temperature - expected).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,179 @@
+//! ASCII time-series charts.
+//!
+//! Terminal-native stand-ins for the Fig. 8/9 plots: unicode sparklines
+//! for compact traces and multi-row line charts for predicted-vs-measured
+//! overlays.
+
+use exadigit_sim::TimeSeries;
+
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render values as a one-line unicode sparkline. NaNs render as spaces.
+pub fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return " ".repeat(values.len());
+    }
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(f64::EPSILON);
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else {
+                let idx = ((v - lo) / span * 7.0).round() as usize;
+                BLOCKS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Downsample a series to `width` points (mean per bucket) and sparkline it.
+pub fn spark_series(series: &TimeSeries, width: usize) -> String {
+    sparkline(&bucket_means(&series.values, width))
+}
+
+/// Bucket-mean downsampling.
+pub fn bucket_means(values: &[f64], width: usize) -> Vec<f64> {
+    if values.is_empty() || width == 0 {
+        return Vec::new();
+    }
+    if values.len() <= width {
+        return values.to_vec();
+    }
+    let mut out = Vec::with_capacity(width);
+    for b in 0..width {
+        let start = b * values.len() / width;
+        let end = ((b + 1) * values.len() / width).max(start + 1);
+        let slice = &values[start..end.min(values.len())];
+        out.push(slice.iter().sum::<f64>() / slice.len() as f64);
+    }
+    out
+}
+
+/// Render one or more named series as a multi-row ASCII line chart with a
+/// y-axis. Each series gets its own glyph; overlapping points show the
+/// later series.
+pub fn line_chart(series: &[(&str, &[f64])], width: usize, height: usize) -> String {
+    assert!(height >= 2 && width >= 8);
+    const GLYPHS: [char; 6] = ['●', '○', '▪', '△', '◆', '+'];
+    // Global range across all series.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (_, vals) in series {
+        for &v in vals.iter().filter(|v| v.is_finite()) {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return "(no data)".to_string();
+    }
+    let span = (hi - lo).max(f64::EPSILON);
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, vals)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        let compact = bucket_means(vals, width);
+        for (x, &v) in compact.iter().enumerate() {
+            if !v.is_finite() {
+                continue;
+            }
+            let y = ((v - lo) / span * (height - 1) as f64).round() as usize;
+            let row = height - 1 - y.min(height - 1);
+            grid[row][x] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (r, row) in grid.iter().enumerate() {
+        let label = if r == 0 {
+            format!("{hi:>10.2} ")
+        } else if r == height - 1 {
+            format!("{lo:>10.2} ")
+        } else {
+            " ".repeat(11)
+        };
+        out.push_str(&label);
+        out.push('│');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&" ".repeat(11));
+    out.push('└');
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    // Legend.
+    out.push_str(&" ".repeat(12));
+    for (si, (name, _)) in series.iter().enumerate() {
+        out.push(GLYPHS[si % GLYPHS.len()]);
+        out.push(' ');
+        out.push_str(name);
+        out.push_str("   ");
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[2], '█');
+    }
+
+    #[test]
+    fn sparkline_constant_input() {
+        let s = sparkline(&[5.0; 10]);
+        assert_eq!(s.chars().count(), 10);
+    }
+
+    #[test]
+    fn sparkline_handles_nan() {
+        let s = sparkline(&[0.0, f64::NAN, 1.0]);
+        assert_eq!(s.chars().nth(1), Some(' '));
+    }
+
+    #[test]
+    fn bucket_means_averages() {
+        let v: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b = bucket_means(&v, 10);
+        assert_eq!(b.len(), 10);
+        assert!((b[0] - 4.5).abs() < 1e-9);
+        assert!((b[9] - 94.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_means_short_input_passthrough() {
+        let v = vec![1.0, 2.0];
+        assert_eq!(bucket_means(&v, 10), v);
+    }
+
+    #[test]
+    fn line_chart_contains_legend_and_axis() {
+        let a: Vec<f64> = (0..50).map(|i| (i as f64 * 0.2).sin()).collect();
+        let b: Vec<f64> = (0..50).map(|i| (i as f64 * 0.2).cos()).collect();
+        let chart = line_chart(&[("predicted", &a), ("measured", &b)], 40, 10);
+        assert!(chart.contains("predicted"));
+        assert!(chart.contains("measured"));
+        assert!(chart.contains('│'));
+        assert!(chart.contains('└'));
+        assert!(chart.lines().count() >= 12);
+    }
+
+    #[test]
+    fn spark_series_downsamples() {
+        let series = TimeSeries::from_values(0.0, 1.0, (0..1000).map(|i| i as f64).collect());
+        let s = spark_series(&series, 60);
+        assert_eq!(s.chars().count(), 60);
+    }
+}

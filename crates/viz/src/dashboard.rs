@@ -1,0 +1,223 @@
+//! Terminal dashboard.
+//!
+//! Stands in for the paper's ReactJS dashboard (§III-B6): named panels
+//! rendered into a bordered terminal layout, fed from a thread-safe
+//! [`LiveStore`] so a simulation thread can publish values while a UI
+//! thread renders — the same producer/consumer split the K8s deployment
+//! uses between simulation pods and the web frontend.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A thread-safe store of named live values (latest-value semantics).
+#[derive(Debug, Clone, Default)]
+pub struct LiveStore {
+    inner: Arc<Mutex<BTreeMap<String, f64>>>,
+}
+
+impl LiveStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish a value.
+    pub fn publish(&self, key: impl Into<String>, value: f64) {
+        self.inner.lock().insert(key.into(), value);
+    }
+
+    /// Read a value.
+    pub fn get(&self, key: &str) -> Option<f64> {
+        self.inner.lock().get(key).copied()
+    }
+
+    /// Snapshot all values (sorted by key).
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        self.inner.lock().iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Number of published keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+/// One dashboard panel: a title plus pre-rendered body lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Panel {
+    /// Panel title.
+    pub title: String,
+    /// Body lines (already formatted).
+    pub lines: Vec<String>,
+}
+
+impl Panel {
+    /// Panel from a title and body text.
+    pub fn new(title: impl Into<String>, body: impl Into<String>) -> Self {
+        Panel { title: title.into(), lines: body.into().lines().map(str::to_string).collect() }
+    }
+
+    /// A key/value panel from live-store entries matching a prefix.
+    pub fn from_store(title: impl Into<String>, store: &LiveStore, prefix: &str) -> Self {
+        let lines = store
+            .snapshot()
+            .into_iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| format!("{k:<38} {v:>14.3}"))
+            .collect();
+        Panel { title: title.into(), lines }
+    }
+}
+
+/// The dashboard renderer.
+#[derive(Debug, Default)]
+pub struct Dashboard {
+    panels: Vec<Panel>,
+}
+
+impl Dashboard {
+    /// Empty dashboard.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a panel.
+    pub fn add(&mut self, panel: Panel) -> &mut Self {
+        self.panels.push(panel);
+        self
+    }
+
+    /// Render all panels stacked, `width` characters wide.
+    pub fn render(&self, width: usize) -> String {
+        let width = width.max(20);
+        let inner = width - 2;
+        let mut out = String::new();
+        for panel in &self.panels {
+            let title = truncate(&panel.title, inner.saturating_sub(4));
+            out.push('╔');
+            out.push_str(&format!("═ {title} "));
+            let used = 3 + title.chars().count();
+            out.push_str(&"═".repeat(width.saturating_sub(used + 2)));
+            out.push_str("╗\n");
+            for line in &panel.lines {
+                let line = truncate(line, inner);
+                out.push('║');
+                out.push_str(&line);
+                out.push_str(&" ".repeat(inner.saturating_sub(line.chars().count())));
+                out.push_str("║\n");
+            }
+            out.push('╚');
+            out.push_str(&"═".repeat(inner));
+            out.push_str("╝\n");
+        }
+        out
+    }
+}
+
+/// A gauge line: `label [#####-----] 50.0 %`.
+pub fn gauge(label: &str, fraction: f64, width: usize) -> String {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let filled = (fraction * width as f64).round() as usize;
+    format!(
+        "{label:<18} [{}{}] {:5.1} %",
+        "#".repeat(filled),
+        "-".repeat(width - filled),
+        100.0 * fraction
+    )
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        s.chars().take(max.saturating_sub(1)).chain(std::iter::once('…')).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_store_publish_and_get() {
+        let store = LiveStore::new();
+        store.publish("power.system_mw", 16.9);
+        store.publish("pue", 1.05);
+        assert_eq!(store.get("pue"), Some(1.05));
+        assert_eq!(store.get("missing"), None);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn live_store_shared_across_clones() {
+        let a = LiveStore::new();
+        let b = a.clone();
+        a.publish("x", 1.0);
+        assert_eq!(b.get("x"), Some(1.0));
+    }
+
+    #[test]
+    fn live_store_concurrent_publishers() {
+        let store = LiveStore::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let st = store.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        st.publish(format!("k{t}"), i as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 8);
+        for t in 0..8 {
+            assert_eq!(store.get(&format!("k{t}")), Some(99.0));
+        }
+    }
+
+    #[test]
+    fn panel_from_store_filters_by_prefix() {
+        let store = LiveStore::new();
+        store.publish("cdu.1.flow", 0.05);
+        store.publish("cdu.2.flow", 0.06);
+        store.publish("pue", 1.04);
+        let p = Panel::from_store("CDUs", &store, "cdu.");
+        assert_eq!(p.lines.len(), 2);
+    }
+
+    #[test]
+    fn dashboard_renders_borders() {
+        let mut d = Dashboard::new();
+        d.add(Panel::new("Power", "system: 16.9 MW\nloss: 1.14 MW"));
+        let r = d.render(60);
+        assert!(r.contains("Power"));
+        assert!(r.contains('╔') && r.contains('╝'));
+        assert!(r.contains("16.9 MW"));
+        // Every body line padded to the same width.
+        let lines: Vec<&str> = r.lines().filter(|l| l.starts_with('║')).collect();
+        assert!(lines.iter().all(|l| l.chars().count() == 60));
+    }
+
+    #[test]
+    fn gauge_renders_fraction() {
+        let g = gauge("utilization", 0.5, 10);
+        assert!(g.contains("#####-----"));
+        assert!(g.contains("50.0 %"));
+        let full = gauge("x", 2.0, 4);
+        assert!(full.contains("####"));
+    }
+
+    #[test]
+    fn long_lines_truncated() {
+        let mut d = Dashboard::new();
+        d.add(Panel::new("T", "x".repeat(500)));
+        let r = d.render(40);
+        assert!(r.lines().all(|l| l.chars().count() <= 40));
+    }
+}

@@ -1,0 +1,96 @@
+//! Rack heat maps.
+//!
+//! "Understanding temperature problems in the past and problems with
+//! cooling loops by visualizing heat maps in the system" is one of the
+//! §III-A use cases. The heat map lays racks out in their physical rows
+//! and shades each by a per-rack value (power, temperature, flow).
+
+/// Intensity ramp from cold to hot.
+const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+
+/// Render a per-rack value vector as an ASCII heat map with `per_row`
+/// racks per row. Returns a bordered block with a scale legend.
+pub fn rack_heatmap(values: &[f64], per_row: usize, title: &str) -> String {
+    assert!(per_row > 0);
+    if values.is_empty() {
+        return format!("{title}: (no racks)\n");
+    }
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(f64::EPSILON);
+
+    let rows = values.len().div_ceil(per_row);
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push('┌');
+    out.push_str(&"─".repeat(per_row * 2));
+    out.push_str("┐\n");
+    for r in 0..rows {
+        out.push('│');
+        for c in 0..per_row {
+            let idx = r * per_row + c;
+            if idx < values.len() {
+                let v = values[idx];
+                let ch = if v.is_finite() {
+                    let level = ((v - lo) / span * (RAMP.len() - 1) as f64).round() as usize;
+                    RAMP[level.min(RAMP.len() - 1)]
+                } else {
+                    '?'
+                };
+                out.push(ch);
+                out.push(ch);
+            } else {
+                out.push_str("  ");
+            }
+        }
+        out.push_str("│\n");
+    }
+    out.push('└');
+    out.push_str(&"─".repeat(per_row * 2));
+    out.push_str("┘\n");
+    out.push_str(&format!("scale: {lo:.1} {} {hi:.1}\n", RAMP.iter().collect::<String>()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_dimensions() {
+        let values: Vec<f64> = (0..74).map(|i| i as f64).collect();
+        let map = rack_heatmap(&values, 16, "rack power");
+        // 74 racks in rows of 16 -> 5 rows + borders + title + scale.
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 1 + 1 + 5 + 1 + 1);
+        assert!(lines[0].contains("rack power"));
+    }
+
+    #[test]
+    fn hot_rack_gets_hot_glyph() {
+        let mut values = vec![1.0; 32];
+        values[5] = 100.0;
+        let map = rack_heatmap(&values, 16, "t");
+        assert!(map.contains('@'), "hottest rack must use the top ramp glyph");
+    }
+
+    #[test]
+    fn uniform_values_render() {
+        let map = rack_heatmap(&[3.0; 8], 4, "uniform");
+        assert!(map.contains('│'));
+    }
+
+    #[test]
+    fn empty_input_is_graceful() {
+        let map = rack_heatmap(&[], 16, "empty");
+        assert!(map.contains("no racks"));
+    }
+
+    #[test]
+    fn nan_renders_question_mark() {
+        let map = rack_heatmap(&[1.0, f64::NAN, 2.0], 3, "nan");
+        assert!(map.contains('?'));
+    }
+}

@@ -1,0 +1,29 @@
+//! Visual analytics for ExaDigiT-rs.
+//!
+//! The paper's visual analytics module (§III-D) is an Unreal Engine 5
+//! augmented-reality model plus a web dashboard. Per the substitution rule
+//! (DESIGN.md) this crate keeps the module's *data contracts* and the
+//! human-facing replay workflow while staying terminal-native:
+//!
+//! * [`scene`] — the L1 "descriptive twin": a scene graph of the machine
+//!   room and central energy plant (racks, CDUs, pumps, towers, pipes)
+//!   with transforms, levels of detail and telemetry bindings, exportable
+//!   as JSON for any external renderer. The paper's Finding 7 stresses
+//!   that "an interactive or programmable level of detail was the key" —
+//!   LOD is a first-class field here.
+//! * [`chart`] — sparklines and ASCII line charts for time series (the
+//!   Fig. 8/9 style overlays in a terminal).
+//! * [`heatmap`] — rack heat maps ("visualizing heat maps in the system"
+//!   is a §III-A use case).
+//! * [`dashboard`] — a panel-based terminal dashboard with a shared live
+//!   value store, standing in for the ReactJS dashboard of §III-B6.
+
+pub mod chart;
+pub mod dashboard;
+pub mod heatmap;
+pub mod scene;
+
+pub use chart::{line_chart, sparkline};
+pub use dashboard::{Dashboard, LiveStore, Panel};
+pub use heatmap::rack_heatmap;
+pub use scene::{AssetKind, LodLevel, SceneGraph, SceneNode};

@@ -1,0 +1,58 @@
+//! Quickstart: build the Frontier digital twin, run one simulated hour of
+//! synthetic workload with the cooling plant attached, and print the
+//! §III-B5 run report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use exadigit_core::{DigitalTwin, TwinConfig};
+use exadigit_raps::workload::{WorkloadGenerator, WorkloadParams};
+use exadigit_viz::chart::spark_series;
+use exadigit_viz::dashboard::gauge;
+
+fn main() {
+    println!("ExaDigiT-rs quickstart — Frontier digital twin\n");
+
+    // 1. Assemble the twin from the built-in Frontier configuration
+    //    (Table I system + Fig. 5 cooling plant).
+    let config = TwinConfig::frontier();
+    let mut twin = DigitalTwin::new(config).expect("frontier config is valid");
+
+    // 2. Generate a synthetic workload (§III-B3) and submit the first
+    //    hour's worth of jobs.
+    let mut generator = WorkloadGenerator::new(WorkloadParams::default(), 42);
+    let jobs: Vec<_> = generator
+        .generate_day(0)
+        .into_iter()
+        .filter(|j| j.submit_time_s < 3_600)
+        .collect();
+    println!("submitting {} jobs for the first simulated hour...", jobs.len());
+    twin.submit(jobs);
+
+    // 3. Run one simulated hour (Algorithm 1: 1 s ticks, cooling every
+    //    15 s).
+    twin.run(3_600).expect("run");
+
+    // 4. Inspect.
+    let report = twin.report();
+    println!("\n{report}\n");
+
+    let outputs = twin.outputs();
+    println!("system power [MW]  {}", spark_series(&outputs.system_power_w.map(|w| w / 1e6), 64));
+    println!("utilization        {}", spark_series(&outputs.utilization, 64));
+    println!("{}", gauge("utilization", twin.utilization(), 32));
+
+    if let Some(pue) = twin.cooling_output("pue") {
+        println!("\ncooling plant:");
+        println!("  PUE                      {pue:.4}");
+        for name in [
+            "facility.htw_supply_temp",
+            "facility.htw_return_temp",
+            "primary.num_pumps_staged",
+            "ct.num_cells_staged",
+        ] {
+            println!("  {name:<24} {:.2}", twin.cooling_output(name).unwrap());
+        }
+    }
+}

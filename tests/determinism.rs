@@ -1,0 +1,70 @@
+//! Reproducibility: the twin is a scientific instrument, so identical
+//! seeds and configurations must produce bit-identical results — the
+//! property every what-if comparison in the paper silently relies on
+//! (the same 183 days replayed under different variants).
+
+use exadigit_core::{DigitalTwin, TwinConfig};
+use exadigit_raps::stats::RunReport;
+use exadigit_raps::workload::{benchmark_day, WorkloadGenerator, WorkloadParams};
+
+fn run_twin(seed: u64, with_cooling: bool, horizon: u64) -> (RunReport, Vec<f64>, Option<f64>) {
+    let cfg = if with_cooling {
+        TwinConfig::frontier()
+    } else {
+        TwinConfig::frontier_power_only()
+    };
+    let mut twin = DigitalTwin::new(cfg).unwrap();
+    let mut generator = WorkloadGenerator::new(WorkloadParams::default(), seed);
+    twin.submit(generator.generate_day(0));
+    twin.run(horizon).unwrap();
+    let pue = twin.cooling_output("pue");
+    (twin.report(), twin.outputs().system_power_w.values.clone(), pue)
+}
+
+#[test]
+fn power_only_twin_bit_identical() {
+    let (r1, p1, _) = run_twin(77, false, 3600);
+    let (r2, p2, _) = run_twin(77, false, 3600);
+    assert_eq!(r1, r2);
+    assert_eq!(p1, p2);
+}
+
+#[test]
+fn coupled_twin_bit_identical() {
+    let (r1, p1, pue1) = run_twin(77, true, 1800);
+    let (r2, p2, pue2) = run_twin(77, true, 1800);
+    assert_eq!(r1, r2);
+    assert_eq!(p1, p2);
+    assert_eq!(pue1, pue2);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let (r1, _, _) = run_twin(1, false, 3600);
+    let (r2, _, _) = run_twin(2, false, 3600);
+    assert_ne!(r1, r2, "distinct seeds must generate distinct workloads");
+}
+
+#[test]
+fn workload_generation_is_stable_across_calls() {
+    let jobs_a = benchmark_day(42);
+    let jobs_b = benchmark_day(42);
+    assert_eq!(jobs_a.len(), jobs_b.len());
+    for (a, b) in jobs_a.iter().zip(&jobs_b) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn synthetic_twin_telemetry_deterministic() {
+    use exadigit_telemetry::SyntheticTwin;
+    let twin = SyntheticTwin::frontier();
+    let mut generator = WorkloadGenerator::new(WorkloadParams::default(), 9);
+    let jobs: Vec<_> =
+        generator.generate_day(0).into_iter().filter(|j| j.submit_time_s < 600).collect();
+    let a = twin.record_span(jobs.clone(), 900, 0);
+    let b = twin.record_span(jobs, 900, 0);
+    assert_eq!(a.measured_power_w.values, b.measured_power_w.values);
+    assert_eq!(a.cooling.pue.values, b.cooling.pue.values);
+    assert_eq!(a.wet_bulb.values, b.wet_bulb.values);
+}

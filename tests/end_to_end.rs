@@ -1,0 +1,94 @@
+//! End-to-end integration: the fully coupled twin (RAPS + cooling plant
+//! across the FMI boundary) running a realistic workload fragment.
+
+use exadigit_core::{DigitalTwin, TwinConfig};
+use exadigit_raps::job::Job;
+use exadigit_raps::workload::{hpl_job, WorkloadGenerator, WorkloadParams};
+use exadigit_sim::TimeSeries;
+
+#[test]
+fn coupled_twin_runs_mixed_workload() {
+    let mut twin = DigitalTwin::new(TwinConfig::frontier()).unwrap();
+    let mut generator = WorkloadGenerator::new(WorkloadParams::default(), 2024);
+    let mut jobs = generator.generate_day(0);
+    jobs.retain(|j| j.submit_time_s < 3600);
+    twin.submit(jobs);
+    twin.run(3600).unwrap();
+
+    let report = twin.report();
+    // Power between idle (7.24 MW) and peak (28.2 MW).
+    assert!(report.avg_power_mw > 7.0, "avg={}", report.avg_power_mw);
+    assert!(report.max_power_mw < 28.5);
+    // Losses in the Finding 9 band.
+    assert!(report.loss_percent > 3.0 && report.loss_percent < 9.0);
+    // PUE present and physical.
+    let pue = report.avg_pue.expect("cooling attached");
+    assert!((1.0..1.3).contains(&pue), "pue={pue}");
+    // Energy consistency: avg power × time ≈ energy.
+    let expect_mwh = report.avg_power_mw * report.sim_seconds as f64 / 3600.0;
+    assert!((report.total_energy_mwh - expect_mwh).abs() / expect_mwh < 0.02);
+}
+
+#[test]
+fn hpl_block_heats_the_plant() {
+    // Fig. 8 behaviour: an HPL launch raises system power and, with a
+    // delay, the primary return temperature.
+    let mut twin = DigitalTwin::new(TwinConfig::frontier()).unwrap();
+    twin.set_wet_bulb(TimeSeries::from_values(0.0, 3600.0, vec![16.0, 16.0, 16.0]));
+    twin.run(900).unwrap(); // settle at idle
+    let t_ret_idle = twin.cooling_output("facility.htw_return_temp").unwrap();
+    let p_idle = twin.snapshot().system_w;
+
+    twin.submit(vec![hpl_job(1, 901)]);
+    twin.run(2700).unwrap(); // into the core phase
+    let t_ret_loaded = twin.cooling_output("facility.htw_return_temp").unwrap();
+    let p_loaded = twin.snapshot().system_w;
+
+    assert!(p_loaded > 2.5 * p_idle, "power must surge under HPL");
+    assert!(
+        t_ret_loaded > t_ret_idle + 1.0,
+        "return temp must rise: idle {t_ret_idle} loaded {t_ret_loaded}"
+    );
+}
+
+#[test]
+fn utilization_and_queue_dynamics() {
+    let mut twin = DigitalTwin::new(TwinConfig::frontier_power_only()).unwrap();
+    // Saturate the machine, then watch the queue drain.
+    let jobs: Vec<Job> = (0..12)
+        .map(|i| Job::new(i, format!("slab{i}"), 2048, 600, 1, 0.7, 0.9))
+        .collect();
+    twin.submit(jobs);
+    twin.run(60).unwrap();
+    // 4 slabs fit (8192 of 9472); the rest wait.
+    let (running, pending) = twin.queue_state();
+    assert_eq!(running, 4);
+    assert_eq!(pending, 8);
+    assert!((twin.utilization() - 8192.0 / 9472.0).abs() < 0.01);
+    // After three generations the queue must be empty.
+    twin.run(2000).unwrap();
+    let (_, pending) = twin.queue_state();
+    assert_eq!(pending, 0);
+    assert_eq!(twin.report().jobs_completed, 12);
+}
+
+#[test]
+fn cooling_outputs_exposed_through_twin() {
+    let mut twin = DigitalTwin::new(TwinConfig::frontier()).unwrap();
+    twin.submit(vec![Job::new(1, "load", 6000, 1200, 1, 0.8, 0.8)]);
+    twin.run(1200).unwrap();
+    // All 317 outputs readable; a few spot checks.
+    for name in [
+        "cdu[1].primary_flow",
+        "cdu[25].secondary_supply_temp",
+        "primary.num_pumps_staged",
+        "ct.num_cells_staged",
+        "facility.htw_supply_pressure",
+        "pue",
+    ] {
+        let v = twin.cooling_output(name).unwrap_or_else(|| panic!("missing {name}"));
+        assert!(v.is_finite(), "{name} not finite");
+    }
+    let staged = twin.cooling_output("primary.num_pumps_staged").unwrap();
+    assert!((1.0..=4.0).contains(&staged));
+}

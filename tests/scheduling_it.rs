@@ -1,0 +1,132 @@
+//! Scheduling-policy integration: the policies of §III-B4 compared on a
+//! common workload through the full simulator.
+
+use exadigit_raps::config::SystemConfig;
+use exadigit_raps::job::Job;
+use exadigit_raps::power::PowerDelivery;
+use exadigit_raps::scheduler::Policy;
+use exadigit_raps::simulation::RapsSimulation;
+use exadigit_raps::workload::{WorkloadGenerator, WorkloadParams};
+
+fn small_system(nodes: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::frontier();
+    cfg.partitions[0].nodes = nodes;
+    cfg.cooling.num_cdus = 2;
+    cfg.cooling.racks_per_cdu = 4;
+    cfg
+}
+
+fn run_policy(policy: Policy, jobs: &[Job], nodes: usize, horizon: u64) -> exadigit_raps::RunReport {
+    let mut sim = RapsSimulation::new(small_system(nodes), PowerDelivery::StandardAC, policy, 60);
+    sim.submit_jobs(jobs.to_vec());
+    sim.run_until(horizon).unwrap();
+    sim.report()
+}
+
+/// A queue that punishes head-of-line blocking: a filler occupies most of
+/// the machine, a huge job queues behind it, and many small jobs queue
+/// behind the huge one. FCFS idles 224 nodes until the filler finishes;
+/// EASY backfills the small jobs into the hole.
+fn blocking_workload() -> Vec<Job> {
+    let mut jobs = vec![
+        Job::new(0, "filler", 800, 1_200, 1, 0.8, 0.8),
+        Job::new(1, "huge", 900, 3_000, 10, 0.8, 0.8),
+    ];
+    for i in 2..60 {
+        jobs.push(Job::new(i, format!("small{i}"), 32, 600, 10 + i, 0.5, 0.7));
+    }
+    jobs
+}
+
+#[test]
+fn backfill_beats_fcfs_on_blocking_workload() {
+    // One-hour window: over a long enough horizon both policies complete
+    // everything (equal node-second integrals), so the discriminators are
+    // completions within the window and queue wait.
+    let jobs = blocking_workload();
+    let fcfs = run_policy(Policy::Fcfs, &jobs, 1024, 3_600);
+    let easy = run_policy(Policy::EasyBackfill, &jobs, 1024, 3_600);
+    assert!(
+        easy.jobs_completed > fcfs.jobs_completed,
+        "easy {} vs fcfs {}",
+        easy.jobs_completed,
+        fcfs.jobs_completed
+    );
+    assert!(
+        easy.avg_utilization > fcfs.avg_utilization,
+        "easy util {} vs fcfs {}",
+        easy.avg_utilization,
+        fcfs.avg_utilization
+    );
+    assert!(
+        easy.avg_wait_s < fcfs.avg_wait_s,
+        "easy wait {} vs fcfs {}",
+        easy.avg_wait_s,
+        fcfs.avg_wait_s
+    );
+}
+
+#[test]
+fn sjf_reduces_mean_wait_for_short_jobs() {
+    // Mixed durations competing for a small machine.
+    let mut jobs = Vec::new();
+    for i in 0..30 {
+        let wall = if i % 2 == 0 { 300 } else { 2_400 };
+        jobs.push(Job::new(i, format!("j{i}"), 256, wall, 5, 0.5, 0.6));
+    }
+    let fcfs = run_policy(Policy::Fcfs, &jobs, 512, 6 * 3600);
+    let sjf = run_policy(Policy::Sjf, &jobs, 512, 6 * 3600);
+    assert!(
+        sjf.avg_wait_s <= fcfs.avg_wait_s,
+        "sjf wait {} vs fcfs {}",
+        sjf.avg_wait_s,
+        fcfs.avg_wait_s
+    );
+}
+
+#[test]
+fn all_policies_complete_a_feasible_workload() {
+    let mut generator = WorkloadGenerator::new(
+        WorkloadParams { machine_nodes: 1024, offered_load: 0.4, ..Default::default() },
+        5,
+    );
+    let jobs: Vec<Job> = generator
+        .generate_day(0)
+        .into_iter()
+        .filter(|j| j.submit_time_s < 2 * 3600)
+        .map(|mut j| {
+            j.nodes = j.nodes.min(1024);
+            j
+        })
+        .collect();
+    let n = jobs.len() as u64;
+    for policy in [Policy::Fcfs, Policy::Sjf, Policy::FirstFit, Policy::EasyBackfill] {
+        let report = run_policy(policy, &jobs, 1024, 12 * 3600);
+        assert_eq!(
+            report.jobs_completed + report.jobs_unfinished,
+            n,
+            "{policy:?} lost jobs"
+        );
+        // Twelve hours is enough to finish a 2 h submission window at
+        // 40 % offered load under any sane policy.
+        assert!(
+            report.jobs_completed as f64 > 0.95 * n as f64,
+            "{policy:?} completed only {} of {n}",
+            report.jobs_completed
+        );
+    }
+}
+
+#[test]
+fn no_policy_oversubscribes_nodes() {
+    let jobs = blocking_workload();
+    for policy in [Policy::Fcfs, Policy::Sjf, Policy::FirstFit, Policy::EasyBackfill] {
+        let mut sim =
+            RapsSimulation::new(small_system(1024), PowerDelivery::StandardAC, policy, 60);
+        sim.submit_jobs(jobs.clone());
+        for _ in 0..3_600 {
+            sim.tick().unwrap();
+            assert!(sim.utilization() <= 1.0 + 1e-12, "{policy:?} oversubscribed");
+        }
+    }
+}

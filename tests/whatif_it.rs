@@ -1,0 +1,95 @@
+//! What-if studies at Frontier scale — the §IV-3 experiments.
+
+use exadigit_core::whatif::{
+    blockage_experiment, CoolingExtensionStudy, PowerDeliveryStudy,
+};
+use exadigit_cooling::PlantSpec;
+use exadigit_raps::config::SystemConfig;
+use exadigit_raps::power::PowerDelivery;
+use exadigit_raps::scheduler::Policy;
+use exadigit_raps::workload::{WorkloadGenerator, WorkloadParams};
+
+#[test]
+fn dc380_study_reproduces_paper_shape() {
+    // Paper: 380 V DC raises system efficiency from 93.3 % to 97.3 %,
+    // saves ≈$542k/yr and cuts carbon by 8.2 %.
+    let cfg = SystemConfig::frontier();
+    let mut generator = WorkloadGenerator::new(WorkloadParams::default(), 11);
+    let jobs: Vec<_> =
+        generator.generate_day(0).into_iter().filter(|j| j.submit_time_s < 7_200).collect();
+    let study = PowerDeliveryStudy::run(&cfg, &jobs, 7_200, Policy::FirstFit);
+
+    let eff_base = study.baseline().report.efficiency;
+    let eff_dc = study.outcome(PowerDelivery::Direct380Vdc).report.efficiency;
+    assert!((0.925..0.95).contains(&eff_base), "baseline eff {eff_base}");
+    assert!((eff_dc - 0.973).abs() < 0.005, "dc eff {eff_dc}");
+
+    // Yearly savings of the right order (paper: $542k at full utilization
+    // profile; any mid-load day must land in the hundreds of k$).
+    let savings = study.yearly_savings_usd(PowerDelivery::Direct380Vdc, &cfg);
+    assert!(
+        (150_000.0..1_200_000.0).contains(&savings),
+        "dc yearly savings {savings}"
+    );
+
+    // Carbon reduction of several percent (paper: −8.2 %).
+    let carbon = study.carbon_delta_percent(PowerDelivery::Direct380Vdc);
+    assert!((-12.0..-4.0).contains(&carbon), "carbon delta {carbon} %");
+}
+
+#[test]
+fn smart_rectifiers_modest_but_positive() {
+    // Paper: "this modification yielded only a modest efficiency gain of
+    // 0.1 %, it translates into ... approximately $120k" per year.
+    let cfg = SystemConfig::frontier();
+    let mut generator = WorkloadGenerator::new(WorkloadParams::default(), 13);
+    let jobs: Vec<_> =
+        generator.generate_day(0).into_iter().filter(|j| j.submit_time_s < 7_200).collect();
+    let study = PowerDeliveryStudy::run(&cfg, &jobs, 7_200, Policy::FirstFit);
+
+    let gain = study.efficiency_gain_points(PowerDelivery::SmartRectifiers);
+    assert!(gain > 0.0, "smart rectifiers must help: {gain}");
+    assert!(gain < 1.5, "gain should be modest: {gain} points");
+
+    let savings = study.yearly_savings_usd(PowerDelivery::SmartRectifiers, &cfg);
+    assert!((20_000.0..400_000.0).contains(&savings), "smart savings {savings}");
+
+    // Ordering: DC beats smart rectifiers.
+    assert!(
+        study.yearly_savings_usd(PowerDelivery::Direct380Vdc, &cfg) > savings,
+        "DC must dominate"
+    );
+}
+
+#[test]
+fn cooling_extension_prototyping() {
+    // §III-A use case: virtually extend the plant with a future secondary
+    // system and evaluate the impact on the current one.
+    let study = CoolingExtensionStudy::run(&PlantSpec::frontier(), 0.6, 6.0, 18.0).unwrap();
+    // More load: more cooling effort and (weakly) warmer supply.
+    assert!(
+        study.extended.cooling_power_w > study.baseline.cooling_power_w,
+        "aux power must rise: {} -> {}",
+        study.baseline.cooling_power_w,
+        study.extended.cooling_power_w
+    );
+    assert!(study.extended.cells_staged >= study.baseline.cells_staged);
+    assert!(study.extended.htws_temp_c > study.baseline.htws_temp_c - 0.5);
+    // The plant still copes: PUE stays physical.
+    assert!((1.0..1.3).contains(&study.extended.pue), "pue {}", study.extended.pue);
+}
+
+#[test]
+fn blockage_injection_detected() {
+    // §III-A water-quality use case: inject blockages into CDUs 5 and 17
+    // and require the detector to flag exactly them.
+    let report =
+        blockage_experiment(&PlantSpec::frontier(), &[4, 16], 5.0, 0.6).unwrap();
+    assert_eq!(report.flagged, vec![4, 16], "flows: {:?}", report.flows_m3s);
+}
+
+#[test]
+fn clean_plant_yields_no_blockage_flags() {
+    let report = blockage_experiment(&PlantSpec::frontier(), &[], 2.0, 0.6).unwrap();
+    assert!(report.flagged.is_empty(), "false positives: {:?}", report.flagged);
+}
