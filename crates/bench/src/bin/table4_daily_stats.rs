@@ -96,7 +96,8 @@ fn main() {
     };
 
     // (label, extractor, paper (min, avg, max, std))
-    let rows: Vec<(&str, fn(&DayStats) -> f64, (f64, f64, f64, f64))> = vec![
+    type Row = (&'static str, fn(&DayStats) -> f64, (f64, f64, f64, f64));
+    let rows: Vec<Row> = vec![
         ("Avg Arrival Rate, tavg (s)", |s| s.tavg_s, (17.0, 138.0, 2988.0, 331.0)),
         ("Avg Nodes per Job", |s| s.nodes_per_job, (39.0, 268.0, 5441.0, 626.0)),
         ("Avg Runtime (m)", |s| s.runtime_min, (17.0, 39.0, 101.0, 14.0)),

@@ -6,10 +6,13 @@
 //! so validation plots (Fig. 7 references stations 10, 12) can be built by
 //! station id.
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 
 /// One measurement station of the Fig. 5 schematic.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialize-only: stations are a static registry of `&'static str`
+/// names, which cannot be deserialized from owned JSON input.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Station {
     /// Station number as printed in Fig. 5.
     pub id: u8,

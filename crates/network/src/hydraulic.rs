@@ -168,6 +168,12 @@ pub struct HydraulicNetwork {
     warm_start: Option<(Vec<f64>, Vec<f64>)>,
 }
 
+impl Default for HydraulicNetwork {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl HydraulicNetwork {
     /// Empty network. Node 0 (the first added) is the reference by default.
     pub fn new() -> Self {
@@ -303,9 +309,9 @@ impl HydraulicNetwork {
         // Map node -> unknown column (reference node maps to None).
         let mut pcol = vec![None; nn];
         let mut col = nb;
-        for n in 0..nn {
+        for (n, slot) in pcol.iter_mut().enumerate() {
             if n != self.reference.0 {
-                pcol[n] = Some(col);
+                *slot = Some(col);
                 col += 1;
             }
         }
@@ -661,6 +667,102 @@ mod tests {
         let pump_total: f64 = (0..4).map(|i| sol.flows()[i]).sum();
         let cdu_total: f64 = cdu_branches.iter().map(|&b| sol.flow(b)).sum();
         assert!((pump_total - cdu_total).abs() < 1e-7);
+    }
+
+    #[test]
+    fn two_branch_split_obeys_quadratic_law() {
+        // Pump into a 2-way split with k2 = 9·k1. Quadratic resistances
+        // share a common ΔP, so q1/q2 = sqrt(k2/k1) = 3 and the pump flow
+        // equals the sum of the leg flows exactly.
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_node("supply");
+        let b = net.add_node("return");
+        net.set_reference(a, 100_000.0);
+        let pump = Pump::from_design_point("P", 0.2, 28.0, 0.8);
+        let bp = net.add_branch("pump", b, a, vec![BranchElement::Pump { pump, speed: 1.0 }]);
+        let k = 2.0e6;
+        let b1 = net.add_branch(
+            "leg1",
+            a,
+            b,
+            vec![BranchElement::Resistance(HydraulicResistance { k })],
+        );
+        let b2 = net.add_branch(
+            "leg2",
+            a,
+            b,
+            vec![BranchElement::Resistance(HydraulicResistance { k: 9.0 * k })],
+        );
+        let sol = net.solve(25.0).expect("2-branch split must converge");
+        let (qp, q1, q2) = (sol.flow(bp), sol.flow(b1), sol.flow(b2));
+        assert!(qp > 0.0 && q1 > 0.0 && q2 > 0.0);
+        assert!((q1 + q2 - qp).abs() < 1e-8, "split total {} vs pump {qp}", q1 + q2);
+        // Tolerance is bounded by the solver's Q_TOL (1e-8 m³/s) on each
+        // leg flow, not machine epsilon.
+        assert!((q1 / q2 - 3.0).abs() < 1e-4, "split ratio {}", q1 / q2);
+    }
+
+    #[test]
+    fn mass_conserved_at_interior_junction() {
+        // Y-network with a true interior junction: pump → header m, then
+        // two legs m → return. Conservation must hold at m, which is
+        // neither the reference node nor a simple 2-branch loop node.
+        let mut net = HydraulicNetwork::new();
+        let ret = net.add_node("return");
+        let m = net.add_node("header");
+        net.set_reference(ret, 0.0);
+        let pump = Pump::from_design_point("P", 0.25, 22.0, 0.8);
+        let feed = net.add_branch(
+            "feed",
+            ret,
+            m,
+            vec![
+                BranchElement::Pump { pump, speed: 1.0 },
+                BranchElement::Resistance(HydraulicResistance { k: 5.0e5 }),
+            ],
+        );
+        let l1 = net.add_branch(
+            "leg1",
+            m,
+            ret,
+            vec![BranchElement::Resistance(HydraulicResistance { k: 1.5e6 })],
+        );
+        let l2 = net.add_branch(
+            "leg2",
+            m,
+            ret,
+            vec![BranchElement::Resistance(HydraulicResistance { k: 4.0e6 })],
+        );
+        let sol = net.solve(25.0).expect("Y-network must converge");
+        let into_m = sol.flow(feed);
+        let out_of_m = sol.flow(l1) + sol.flow(l2);
+        assert!(into_m > 0.0);
+        assert!((into_m - out_of_m).abs() < 1e-8, "junction imbalance {}", into_m - out_of_m);
+        // Header pressure sits between reference and pump discharge.
+        assert!(sol.pressure(m) > sol.pressure(ret));
+    }
+
+    #[test]
+    fn degenerate_single_pipe_converges_to_rest() {
+        // A single passive pipe with no pump and no injection is the
+        // degenerate case: the unique solution is zero flow with the
+        // far node settling at the reference pressure. The damped Newton
+        // must converge (and quickly) rather than stall on the flat
+        // quadratic around q = 0.
+        let mut net = HydraulicNetwork::new();
+        let a = net.add_node("a");
+        let b = net.add_node("b");
+        net.set_reference(a, 50_000.0);
+        let pipe = net.add_branch(
+            "pipe",
+            a,
+            b,
+            vec![BranchElement::Resistance(HydraulicResistance { k: 1.0e6 })],
+        );
+        let sol = net.solve(25.0).expect("degenerate single pipe must converge");
+        assert!(sol.flow(pipe).abs() < 1e-7, "rest flow {}", sol.flow(pipe));
+        assert!((sol.pressure(b) - 50_000.0).abs() < 1.0, "p_b {}", sol.pressure(b));
+        assert!(sol.iterations <= 50, "took {} iterations", sol.iterations);
     }
 
     #[test]

@@ -324,7 +324,7 @@ impl RapsSimulation {
                 // Remove started jobs from pending in descending index order.
                 let mut started: Vec<(usize, Vec<u32>)> =
                     decisions.into_iter().map(|d| (d.job_index, d.nodes)).collect();
-                started.sort_by(|a, b| b.0.cmp(&a.0));
+                started.sort_by_key(|s| std::cmp::Reverse(s.0));
                 for (idx, nodes) in started {
                     let mut job = self.pending.swap_remove(idx);
                     job.state = JobState::Running;
@@ -343,7 +343,7 @@ impl RapsSimulation {
         }
 
         // Recalculate power on events or at the trace quantum.
-        let quantum_boundary = now % COOLING_PERIOD_S == 0;
+        let quantum_boundary = now.is_multiple_of(COOLING_PERIOD_S);
         if self.power_dirty || quantum_boundary {
             self.recompute_power(now);
             self.power_dirty = false;
@@ -358,7 +358,7 @@ impl RapsSimulation {
         }
 
         // Record outputs.
-        if now % self.record_every_s == 0 {
+        if now.is_multiple_of(self.record_every_s) {
             let util = self.utilization();
             self.outputs.system_power_w.push(self.snapshot.system_w);
             self.outputs.loss_w.push(self.snapshot.loss_w);

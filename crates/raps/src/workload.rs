@@ -250,7 +250,7 @@ pub fn benchmark_day(seed: u64) -> Vec<Job> {
     let mut jobs = generator.generate_day(0);
     // Four back-to-back HPL runs in the early morning (Fig. 9 shows them
     // as consecutive plateaus).
-    let mut t = 1 * 3600;
+    let mut t = 3600;
     for k in 0..4 {
         jobs.push(hpl_job(900_000 + k, t));
         t += 2 * 3600 + 300; // 5 min gap between runs

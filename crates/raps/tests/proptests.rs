@@ -115,7 +115,7 @@ proptest! {
     fn node_power_bounded(cu in -1.0f64..2.0, gu in -1.0f64..2.0) {
         let model = PowerModel::new(SystemConfig::frontier(), PowerDelivery::StandardAC);
         let p = model.node_power(cu, gu, 4);
-        prop_assert!(p >= 626.0 - 1e-9 && p <= 2704.0 + 1e-9, "p={p}");
+        prop_assert!((626.0 - 1e-9..=2704.0 + 1e-9).contains(&p), "p={p}");
     }
 
     /// System power is monotone in utilization and bounded by the

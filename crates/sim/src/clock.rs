@@ -71,7 +71,7 @@ impl SimClock {
     #[inline]
     pub fn every(&self, period: u64) -> bool {
         debug_assert!(period > 0);
-        self.elapsed % period == 0
+        self.elapsed.is_multiple_of(period)
     }
 
     /// Second-of-day in `[0, 86400)` for diurnal forcing (wet-bulb cycles).

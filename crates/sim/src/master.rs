@@ -97,7 +97,7 @@ impl CoSimMaster {
         self.exchange()?;
         let next_step = self.steps + 1;
         for slot in &mut self.slots {
-            if next_step % slot.step_multiple == 0 {
+            if next_step.is_multiple_of(slot.step_multiple) {
                 let dt = self.macro_dt * slot.step_multiple as f64;
                 // The model last advanced at a multiple of its own period.
                 let model_time = self.time - self.macro_dt * (slot.step_multiple - 1) as f64;

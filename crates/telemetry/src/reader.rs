@@ -164,7 +164,7 @@ mod tests {
             cpu_power_w: vec![152.7, 153.0],
             gpu_power_w: vec![460.9, 461.0],
         };
-        let csv = crate::writer::jobs_to_csv(&[rec.clone()]);
+        let csv = crate::writer::jobs_to_csv(std::slice::from_ref(&rec));
         let back = CsvJobReader.read_jobs(&csv).unwrap();
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].job_id, rec.job_id);

@@ -1,0 +1,5 @@
+//! Umbrella crate for ExaDigiT-rs: re-exports the façade crate so that
+//! `exadigit::DigitalTwin` works, and hosts the workspace-level
+//! integration tests (`tests/`) and examples (`examples/`).
+
+pub use exadigit_core::*;

@@ -8,7 +8,6 @@
 
 use exadigit_cooling::CoolingModel;
 use exadigit_raps::workload::{WorkloadGenerator, WorkloadParams};
-use exadigit_sim::fmi::CoSimModel;
 use exadigit_sim::TimeSeries;
 use exadigit_telemetry::{compare_channels, SyntheticTwin};
 

@@ -38,6 +38,58 @@ fn coupled_twin_bit_identical() {
     assert_eq!(pue1, pue2);
 }
 
+/// Bit-identical replay: two coupled `DigitalTwin` runs with the same seed
+/// must agree on every recorded sample at the `f64::to_bits` level — not
+/// merely within tolerance. `PartialEq` on floats would also accept
+/// `-0.0 == 0.0`; replay hashing and regression baselines need stricter.
+#[test]
+fn coupled_twin_replay_bit_identical_to_the_bit() {
+    let (r1, p1, pue1) = run_twin(4242, true, 1800);
+    let (r2, p2, pue2) = run_twin(4242, true, 1800);
+    assert_eq!(r1, r2);
+    assert_eq!(p1.len(), p2.len());
+    for (i, (a, b)) in p1.iter().zip(&p2).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "sample {i}: {a} vs {b}");
+    }
+    match (pue1, pue2) {
+        (Some(a), Some(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+        (a, b) => assert_eq!(a, b),
+    }
+}
+
+/// The RNG streams underneath the twin are themselves reproducible:
+/// same seed → identical raw streams, identical split streams, and
+/// bit-identical floating-point deviates from every distribution.
+#[test]
+fn rng_streams_bit_identical() {
+    use exadigit_sim::Rng;
+    let mut a = Rng::new(0xDEAD_BEEF);
+    let mut b = Rng::new(0xDEAD_BEEF);
+    for _ in 0..256 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+    // Split streams are a pure function of (parent seed, stream id).
+    for stream in [0u64, 1, 7, 1 << 40] {
+        let mut sa = Rng::new(99).split(stream);
+        let mut sb = Rng::new(99).split(stream);
+        for _ in 0..64 {
+            assert_eq!(sa.next_u64(), sb.next_u64());
+        }
+    }
+    // Distribution deviates are bit-identical, not just approximately so.
+    let mut da = Rng::new(7).split(3);
+    let mut db = Rng::new(7).split(3);
+    for _ in 0..64 {
+        assert_eq!(da.uniform().to_bits(), db.uniform().to_bits());
+        assert_eq!(da.exponential(0.01).to_bits(), db.exponential(0.01).to_bits());
+        assert_eq!(da.standard_normal().to_bits(), db.standard_normal().to_bits());
+        assert_eq!(
+            da.lognormal_from_moments(240.0, 300.0).to_bits(),
+            db.lognormal_from_moments(240.0, 300.0).to_bits()
+        );
+    }
+}
+
 #[test]
 fn different_seeds_differ() {
     let (r1, _, _) = run_twin(1, false, 3600);

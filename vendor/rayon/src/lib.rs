@@ -1,0 +1,89 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Exposes `into_par_iter()` / `par_iter()` returning a [`ParIter`] that
+//! implements `Iterator`, so every std combinator (`map`, `sum`,
+//! `collect`, …) works unchanged. Execution is sequential: the workspace's
+//! parallel call sites are all embarrassingly-parallel `map`s whose
+//! results are collected, so sequential evaluation is semantically
+//! identical (and keeps replay ordering bit-deterministic). Swapping in
+//! real rayon later is a manifest-only change.
+
+/// Wrapper marking an iterator as "parallel". Delegates to the inner
+/// iterator; order is the source order.
+pub struct ParIter<I>(pub I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    #[inline]
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+/// `rayon::iter::IntoParallelIterator` equivalent.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {}
+
+/// `rayon::iter::IntoParallelRefIterator` equivalent (`.par_iter()` on
+/// slices, `Vec`s, maps, …).
+pub trait IntoParallelRefIterator<'a> {
+    type Iter: Iterator;
+
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: ?Sized> IntoParallelRefIterator<'a> for T
+where
+    &'a T: IntoIterator,
+    T: 'a,
+{
+    type Iter = <&'a T as IntoIterator>::IntoIter;
+
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+pub mod iter {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_sum() {
+        let total: u64 = (0..10u64).into_par_iter().map(|x| x * 2).sum();
+        assert_eq!(total, 90);
+    }
+
+    #[test]
+    fn slice_par_iter_collect() {
+        let xs = [1.0f64, 2.0, 3.0];
+        let doubled: Vec<f64> = xs.par_iter().map(|&x| x * 2.0).collect();
+        assert_eq!(doubled, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn result_collect_short_circuits() {
+        let r: Result<Vec<u32>, String> =
+            (0..5u32).into_par_iter().map(|x| if x < 3 { Ok(x) } else { Err("boom".into()) }).collect();
+        assert!(r.is_err());
+    }
+}

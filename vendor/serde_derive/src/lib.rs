@@ -1,0 +1,399 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize` / `Deserialize` impls against the vendored
+//! `serde` crate's `Value` model. Because `syn`/`quote` are unavailable,
+//! the derive input is parsed directly from `proc_macro::TokenStream`.
+//!
+//! Supported shapes (everything the workspace uses):
+//! * structs with named fields → JSON objects;
+//! * newtype structs (`struct X(T)`) → transparent (the inner value);
+//! * tuple structs with ≥ 2 fields → JSON arrays;
+//! * unit structs → `null`;
+//! * enums with unit / newtype / tuple / struct variants → externally
+//!   tagged, exactly like real serde (`"Variant"`,
+//!   `{"Variant": payload}`).
+//!
+//! Generics and `#[serde(...)]` attributes are not supported and produce
+//! a compile error rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a derive input.
+enum Input {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Tuple struct with `n` unnamed fields.
+    TupleStruct { name: String, arity: usize },
+    /// Unit struct.
+    UnitStruct { name: String },
+    /// Enum; each variant is (name, shape).
+    Enum { name: String, variants: Vec<(String, VariantShape)> },
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Split a delimited group's tokens at top-level commas. Parenthesised /
+/// bracketed groups arrive as single `TokenTree`s, but generic arguments
+/// do not — `<` and `>` are plain puncts — so angle-bracket depth must be
+/// tracked or a field like `map: HashMap<String, u64>` splits in two.
+/// A `>` completing a `->` arrow (fn-pointer field types) is not a close.
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0usize;
+    for t in tokens {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => {
+                    let after_dash = matches!(cur.last(),
+                        Some(TokenTree::Punct(prev)) if prev.as_char() == '-');
+                    if !after_dash {
+                        angle_depth = angle_depth.saturating_sub(1);
+                    }
+                }
+                ',' if angle_depth == 0 => {
+                    if !cur.is_empty() {
+                        out.push(std::mem::take(&mut cur));
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strip leading attributes (`#[...]`) and visibility (`pub`, `pub(...)`)
+/// from a token slice, returning the rest.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2, // '#' + [ ... ]
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+/// Extract named-field identifiers from the tokens of a brace group.
+fn parse_named_fields(tokens: Vec<TokenTree>) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_commas(tokens) {
+        let rest = strip_attrs_and_vis(&chunk);
+        match rest.first() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            _ => return Err("unsupported field syntax".into()),
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes and visibility before the `struct` / `enum` keyword.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id))
+                if matches!(id.to_string().as_str(), "pub" | "crate" | "in") =>
+            {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                break
+            }
+            Some(_) => i += 1,
+            None => return Err("expected `struct` or `enum`".into()),
+        }
+    }
+    let kind = tokens[i].to_string();
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("generic type `{name}` is not supported by the vendored serde_derive"));
+    }
+    if kind == "struct" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream().into_iter().collect())?;
+                Ok(Input::Struct { name, fields })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_commas(g.stream().into_iter().collect()).len();
+                Ok(Input::TupleStruct { name, arity })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input::UnitStruct { name }),
+            None => Ok(Input::UnitStruct { name }),
+            _ => Err("unsupported struct body".into()),
+        }
+    } else {
+        let body = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            _ => return Err("expected enum body".into()),
+        };
+        let mut variants = Vec::new();
+        for chunk in split_commas(body.into_iter().collect()) {
+            let rest = strip_attrs_and_vis(&chunk);
+            let vname = match rest.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return Err("unsupported variant syntax".into()),
+            };
+            let shape = match rest.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Struct(parse_named_fields(g.stream().into_iter().collect())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    VariantShape::Tuple(split_commas(g.stream().into_iter().collect()).len())
+                }
+                _ => VariantShape::Unit, // unit variant, possibly `= discr`
+            };
+            variants.push((vname, shape));
+        }
+        Ok(Input::Enum { name, variants })
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &parsed {
+        Input::Struct { fields, .. } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))")
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+        Input::TupleStruct { arity: 1, .. } => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Input::TupleStruct { arity, .. } => {
+            let items: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Input::UnitStruct { .. } => "::serde::Value::Null".to_string(),
+        Input::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => ::serde::Value::String({v:?}.to_string()),"
+                    ),
+                    VariantShape::Tuple(1) => format!(
+                        "{name}::{v}(x0) => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                         ::serde::Serialize::to_value(x0))]),"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({b}) => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                             ::serde::Value::Array(vec![{it}]))]),",
+                            b = binds.join(", "),
+                            it = items.join(", ")
+                        )
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(vec![\
+                             ({v:?}.to_string(), ::serde::Value::Object(vec![{p}]))]),",
+                            p = pairs.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let name = match &parsed {
+        Input::Struct { name, .. }
+        | Input::TupleStruct { name, .. }
+        | Input::UnitStruct { name }
+        | Input::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(p) => p,
+        Err(e) => return compile_error(&e),
+    };
+    let (name, body) = match &parsed {
+        Input::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         __v.get({f:?}).unwrap_or(&::serde::Value::Null)).map_err(|e| \
+                         ::serde::Error::msg(format!(\"{name}.{f}: {{e}}\")))?"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "match __v {{\n\
+                         ::serde::Value::Object(_) => Ok({name} {{ {init} }}),\n\
+                         other => Err(::serde::Error::msg(format!(\
+                             \"expected object for {name}, found {{other:?}}\"))),\n\
+                     }}",
+                    init = inits.join(", ")
+                ),
+            )
+        }
+        Input::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))"),
+        ),
+        Input::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "match __v {{\n\
+                         ::serde::Value::Array(__a) if __a.len() == {arity} => \
+                             Ok({name}({init})),\n\
+                         other => Err(::serde::Error::msg(format!(\
+                             \"expected {arity}-element array for {name}, found {{other:?}}\"))),\n\
+                     }}",
+                    init = inits.join(", ")
+                ),
+            )
+        }
+        Input::UnitStruct { name } => (name, format!("Ok({name})")),
+        Input::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, s)| matches!(s, VariantShape::Unit))
+                .map(|(v, _)| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, shape)| match shape {
+                    VariantShape::Unit => None,
+                    VariantShape::Tuple(1) => Some(format!(
+                        "{v:?} => Ok({name}::{v}(::serde::Deserialize::from_value(__payload)?)),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__a[{i}])?"))
+                            .collect();
+                        Some(format!(
+                            "{v:?} => match __payload {{\n\
+                                 ::serde::Value::Array(__a) if __a.len() == {n} => \
+                                     Ok({name}::{v}({init})),\n\
+                                 other => Err(::serde::Error::msg(format!(\
+                                     \"bad payload for {name}::{v}: {{other:?}}\"))),\n\
+                             }},",
+                            init = inits.join(", ")
+                        ))
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     __payload.get({f:?}).unwrap_or(&::serde::Value::Null))?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "{v:?} => Ok({name}::{v} {{ {init} }}),",
+                            init = inits.join(", ")
+                        ))
+                    }
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "match __v {{\n\
+                         ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                             {units}\n\
+                             other => Err(::serde::Error::msg(format!(\
+                                 \"unknown {name} variant {{other:?}}\"))),\n\
+                         }},\n\
+                         ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                             let (__tag, __payload) = &__o[0];\n\
+                             match __tag.as_str() {{\n\
+                                 {tagged}\n\
+                                 other => Err(::serde::Error::msg(format!(\
+                                     \"unknown {name} variant {{other:?}}\"))),\n\
+                             }}\n\
+                         }},\n\
+                         other => Err(::serde::Error::msg(format!(\
+                             \"expected {name} variant, found {{other:?}}\"))),\n\
+                     }}",
+                    units = unit_arms.join("\n"),
+                    tagged = tagged_arms.join("\n")
+                ),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> \
+             {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
