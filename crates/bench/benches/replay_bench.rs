@@ -2,8 +2,9 @@
 //! 24-hour replay takes about nine minutes to run with cooling, or just
 //! three minutes without; the entire analysis takes about an hour when
 //! running the different days in parallel". These benches measure a
-//! 30-simulated-minute fragment with and without cooling, the rayon
-//! parallel-day sweep, and one UQ ensemble member.
+//! 30-simulated-minute fragment with and without cooling, the pool-backed
+//! parallel-day sweep (4-thread pool vs serial), and one UQ ensemble
+//! member. Pool-width scaling lives in `ensemble_throughput`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use exadigit_cooling::CoolingModel;
@@ -83,9 +84,10 @@ fn bench_parallel_days(c: &mut Criterion) {
             black_box(total)
         })
     });
-    group.bench_function("8_fragments_rayon", |b| {
+    group.bench_function("8_fragments_pool4", |b| {
         b.iter(|| {
-            let total: f64 = (0..8u64).into_par_iter().map(run_day).sum();
+            let total: f64 =
+                rayon::with_threads(4, || (0..8u64).into_par_iter().map(run_day).sum());
             black_box(total)
         })
     });

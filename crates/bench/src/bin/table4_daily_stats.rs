@@ -2,8 +2,9 @@
 //! telemetry replay of 183 days" — min / avg / max / std of the daily
 //! aggregates over a 183-day synthetic workload, replayed through the
 //! coupled twin (cooling model attached, as in the paper's functional
-//! tests). Days run rayon-parallel, exactly like the paper runs "the
-//! different days in parallel on a single Frontier node".
+//! tests). Days run as one scenario batch on the thread-pool executor,
+//! exactly like the paper runs "the different days in parallel on a single
+//! Frontier node"; set `EXADIGIT_THREADS` to control the pool width.
 //!
 //! ```sh
 //! cargo run --release -p exadigit-bench --bin table4_daily_stats -- --days 183
@@ -17,9 +18,8 @@ use exadigit_raps::scheduler::Policy;
 use exadigit_raps::simulation::{CoolingCoupling, RapsSimulation};
 use exadigit_raps::workload::{WorkloadGenerator, WorkloadParams};
 use exadigit_sim::clock::SECONDS_PER_DAY;
-use exadigit_sim::{Summary, Welford};
+use exadigit_sim::{EnsembleRunner, Summary, Welford};
 use exadigit_telemetry::SyntheticTwin;
-use rayon::prelude::*;
 
 #[derive(Debug, Clone, Copy)]
 struct DayStats {
@@ -83,8 +83,8 @@ fn main() {
         "Table IV — Daily statistics from telemetry replay of {days} days (cooling: {with_cooling})"
     ));
     let t0 = std::time::Instant::now();
-    let stats: Vec<DayStats> =
-        (0..days).into_par_iter().map(|d| run_day(d, with_cooling)).collect();
+    let stats: Vec<DayStats> = EnsembleRunner::new(0)
+        .map((0..days).collect(), |_ctx, d| run_day(d, with_cooling));
     let elapsed = t0.elapsed();
 
     let summarise = |f: fn(&DayStats) -> f64| -> Summary {

@@ -1,0 +1,258 @@
+//! The twin's scenario-batch API: heterogeneous ensembles over one pool.
+//!
+//! [`EnsembleRunner`] (re-exported from [`exadigit_sim::ensemble`], where
+//! the generic engine lives below the domain crates) batches N independent
+//! scenarios across the thread-pool executor with per-scenario RNG streams
+//! and order-deterministic gathering. This module layers the twin-level
+//! vocabulary on top: [`TwinScenario`] names every scenario family the
+//! paper exercises — Monte-Carlo UQ draws (§IV), power-delivery what-ifs
+//! (§IV-3), and plant-spec sweep points (§III-A) — and [`run_batch`]
+//! executes an arbitrary mix of them in a single pool pass.
+//!
+//! To add a new scenario type, add a [`TwinScenario`] variant plus a
+//! matching [`ScenarioOutcome`] arm, and dispatch to a *single-scenario*
+//! function (the pattern set by [`whatif::run_delivery_variant`] and
+//! [`uq::run_member`]); the executor, RNG streaming, and determinism
+//! guarantees come for free. See `docs/ENSEMBLES.md` for the full guide.
+//!
+//! ```no_run
+//! use exadigit_core::ensemble::{run_batch, EnsembleRunner, TwinScenario};
+//! use exadigit_raps::config::SystemConfig;
+//! use exadigit_raps::job::Job;
+//! use exadigit_raps::uq::UqPerturbations;
+//!
+//! let system = SystemConfig::frontier();
+//! let jobs = vec![Job::new(1, "load", 128, 1800, 1, 0.8, 0.8)];
+//! let scenarios: Vec<TwinScenario> = (0..64)
+//!     .map(|_| TwinScenario::UqDraw {
+//!         system: system.clone(),
+//!         jobs: jobs.clone(),
+//!         horizon_s: 1800,
+//!         perturbations: UqPerturbations::default(),
+//!     })
+//!     .collect();
+//! let outcomes = run_batch(&EnsembleRunner::new(42).threads(4), &scenarios);
+//! assert_eq!(outcomes.len(), 64);
+//! ```
+
+pub use exadigit_sim::ensemble::{EnsembleRunner, Scenario, ScenarioCtx};
+
+use crate::whatif::{
+    self, run_delivery_variant, settle_setpoint, settle_weather_point, DeliveryOutcome,
+    SetpointCandidate, WeatherPoint,
+};
+use exadigit_cooling::PlantSpec;
+use exadigit_raps::config::SystemConfig;
+use exadigit_raps::job::Job;
+use exadigit_raps::power::PowerDelivery;
+use exadigit_raps::scheduler::Policy;
+use exadigit_raps::uq::{self, EnsembleMember, UqPerturbations};
+
+/// One self-contained twin scenario, ready to be batched by [`run_batch`].
+///
+/// Every variant owns its full input state, so a batch can mix scenario
+/// families and system configurations freely — e.g. 64 UQ draws, three
+/// delivery variants, and a 10-point setpoint sweep in a single pool pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TwinScenario {
+    /// One Monte-Carlo UQ draw (§IV): perturb the power-model parameters
+    /// with the scenario's private RNG stream and replay the workload.
+    UqDraw {
+        /// System description to perturb.
+        system: SystemConfig,
+        /// Workload to replay.
+        jobs: Vec<Job>,
+        /// Replay horizon, seconds.
+        horizon_s: u64,
+        /// 1-σ perturbation magnitudes.
+        perturbations: UqPerturbations,
+    },
+    /// One power-delivery what-if variant (§IV-3): replay the workload
+    /// under the given conversion chain.
+    DeliveryVariant {
+        /// System description (unperturbed).
+        system: SystemConfig,
+        /// Workload to replay.
+        jobs: Vec<Job>,
+        /// Replay horizon, seconds.
+        horizon_s: u64,
+        /// Scheduling policy.
+        policy: Policy,
+        /// Conversion-chain variant to evaluate.
+        delivery: PowerDelivery,
+    },
+    /// One basin-setpoint candidate of the L5-precursor grid search:
+    /// settle the plant and read off the PUE objective.
+    PlantSetpoint {
+        /// Cooling-plant specification.
+        spec: PlantSpec,
+        /// Tower basin setpoint to try, °C.
+        setpoint_c: f64,
+        /// Heat load as a fraction of plant design heat.
+        load_fraction: f64,
+        /// Ambient wet-bulb temperature, °C.
+        wet_bulb_c: f64,
+    },
+    /// One wet-bulb point of the weather-correlation sweep (§III-A).
+    WeatherPoint {
+        /// Cooling-plant specification.
+        spec: PlantSpec,
+        /// Ambient wet-bulb temperature, °C.
+        wet_bulb_c: f64,
+        /// Heat load as a fraction of plant design heat.
+        load_fraction: f64,
+    },
+}
+
+/// What one [`TwinScenario`] produced, mirroring its variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioOutcome {
+    /// Headline outputs of a UQ draw.
+    Uq(EnsembleMember),
+    /// Run report of a delivery variant.
+    Delivery(DeliveryOutcome),
+    /// Settled plant condition of a setpoint candidate.
+    Setpoint(SetpointCandidate),
+    /// Settled plant condition of a weather point.
+    Weather(WeatherPoint),
+}
+
+impl Scenario for TwinScenario {
+    type Output = Result<ScenarioOutcome, String>;
+
+    fn run(&self, ctx: &mut ScenarioCtx) -> Self::Output {
+        match self {
+            TwinScenario::UqDraw { system, jobs, horizon_s, perturbations } => Ok(
+                ScenarioOutcome::Uq(uq::run_member(system, jobs, *horizon_s, perturbations, ctx)),
+            ),
+            TwinScenario::DeliveryVariant { system, jobs, horizon_s, policy, delivery } => {
+                Ok(ScenarioOutcome::Delivery(run_delivery_variant(
+                    system, jobs, *horizon_s, *policy, *delivery,
+                )))
+            }
+            TwinScenario::PlantSetpoint { spec, setpoint_c, load_fraction, wet_bulb_c } => {
+                settle_setpoint(spec, *setpoint_c, *load_fraction, *wet_bulb_c)
+                    .map(ScenarioOutcome::Setpoint)
+            }
+            TwinScenario::WeatherPoint { spec, wet_bulb_c, load_fraction } => {
+                settle_weather_point(spec, *wet_bulb_c, *load_fraction)
+                    .map(ScenarioOutcome::Weather)
+            }
+        }
+    }
+}
+
+/// Execute a batch of twin scenarios across the runner's pool, outcomes in
+/// scenario order. Bit-identical for every pool width: scenario `i` draws
+/// from RNG stream `i` and lands in slot `i` regardless of which thread
+/// ran it. A failing scenario yields its own `Err` without disturbing the
+/// others.
+pub fn run_batch(
+    runner: &EnsembleRunner,
+    scenarios: &[TwinScenario],
+) -> Vec<Result<ScenarioOutcome, String>> {
+    runner.run_scenarios(scenarios)
+}
+
+/// Convenience for sweep-style batches: build one scenario per sweep point
+/// with `make`, run the batch, and unwrap outcomes with the lowest-index
+/// error (matching sequential short-circuit semantics).
+pub fn run_sweep<T: Clone>(
+    runner: &EnsembleRunner,
+    points: &[T],
+    make: impl Fn(T) -> TwinScenario,
+) -> Result<Vec<ScenarioOutcome>, String> {
+    let scenarios: Vec<TwinScenario> = points.iter().cloned().map(make).collect();
+    run_batch(runner, &scenarios).into_iter().collect()
+}
+
+/// Re-exported what-if study types most batches want in scope.
+pub use whatif::PowerDeliveryStudy;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_system() -> SystemConfig {
+        let mut cfg = SystemConfig::frontier();
+        cfg.partitions[0].nodes = 128;
+        cfg.cooling.num_cdus = 1;
+        cfg.cooling.racks_per_cdu = 1;
+        cfg
+    }
+
+    #[test]
+    fn mixed_batch_runs_every_family() {
+        let system = tiny_system();
+        let jobs = vec![Job::new(1, "load", 64, 600, 1, 0.6, 0.6)];
+        let spec = exadigit_cooling::PlantSpec::marconi100_like();
+        let scenarios = vec![
+            TwinScenario::UqDraw {
+                system: system.clone(),
+                jobs: jobs.clone(),
+                horizon_s: 600,
+                perturbations: UqPerturbations::default(),
+            },
+            TwinScenario::DeliveryVariant {
+                system: system.clone(),
+                jobs: jobs.clone(),
+                horizon_s: 600,
+                policy: Policy::FirstFit,
+                delivery: PowerDelivery::Direct380Vdc,
+            },
+            TwinScenario::PlantSetpoint {
+                spec: spec.clone(),
+                setpoint_c: 24.0,
+                load_fraction: 0.5,
+                wet_bulb_c: 16.0,
+            },
+            TwinScenario::WeatherPoint { spec, wet_bulb_c: 12.0, load_fraction: 0.5 },
+        ];
+        let outcomes = run_batch(&EnsembleRunner::new(11).threads(2), &scenarios);
+        assert_eq!(outcomes.len(), 4);
+        assert!(matches!(outcomes[0], Ok(ScenarioOutcome::Uq(_))));
+        assert!(matches!(outcomes[1], Ok(ScenarioOutcome::Delivery(_))));
+        assert!(matches!(outcomes[2], Ok(ScenarioOutcome::Setpoint(_))));
+        assert!(matches!(outcomes[3], Ok(ScenarioOutcome::Weather(_))));
+    }
+
+    #[test]
+    fn batch_outcomes_are_width_invariant() {
+        let system = tiny_system();
+        let jobs = vec![Job::new(1, "load", 32, 300, 1, 0.5, 0.5)];
+        let scenarios: Vec<TwinScenario> = (0..6)
+            .map(|_| TwinScenario::UqDraw {
+                system: system.clone(),
+                jobs: jobs.clone(),
+                horizon_s: 300,
+                perturbations: UqPerturbations::default(),
+            })
+            .collect();
+        let seq = run_batch(&EnsembleRunner::new(5).threads(1), &scenarios);
+        let par = run_batch(&EnsembleRunner::new(5).threads(4), &scenarios);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn run_sweep_gathers_setpoints_in_order() {
+        let spec = exadigit_cooling::PlantSpec::marconi100_like();
+        let outcomes = run_sweep(
+            &EnsembleRunner::new(0).threads(2),
+            &[20.0, 24.0],
+            |sp| TwinScenario::PlantSetpoint {
+                spec: spec.clone(),
+                setpoint_c: sp,
+                load_fraction: 0.5,
+                wet_bulb_c: 16.0,
+            },
+        )
+        .expect("sweep runs");
+        match (&outcomes[0], &outcomes[1]) {
+            (ScenarioOutcome::Setpoint(a), ScenarioOutcome::Setpoint(b)) => {
+                assert_eq!(a.basin_setpoint_c, 20.0);
+                assert_eq!(b.basin_setpoint_c, 24.0);
+            }
+            other => panic!("unexpected outcomes: {other:?}"),
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Digital-twin maturity levels (Fig. 2 of the paper).
 //!
 //! The paper classifies each module against the five-level taxonomy of
-//! [36] (Autodesk): descriptive, informative, predictive, comprehensive,
+//! ref. \[36\] (Autodesk): descriptive, informative, predictive, comprehensive,
 //! autonomous, and positions itself at L1 (visualization), L2 (telemetry
 //! validation) and L4 (modeling & simulation), with L3/L5 as future work.
 

@@ -20,9 +20,12 @@
 //!
 //! This crate is the façade: [`DigitalTwin`] wires the modules together,
 //! [`TwinConfig`] is the JSON-loadable description of a whole system
-//! (§V generalisation), and [`whatif`] hosts the §IV-3 experiments (smart
+//! (§V generalisation), [`whatif`] hosts the §IV-3 experiments (smart
 //! load-sharing rectifiers, 380 V DC distribution, cooling-system
-//! extension, CDU blockage injection, thermal-throttle scans).
+//! extension, CDU blockage injection, thermal-throttle scans), and
+//! [`ensemble`] batches heterogeneous twin scenarios — UQ draws, what-if
+//! variants, plant-spec sweeps — across the thread-pool executor with
+//! bit-deterministic results at any pool width (see `docs/ENSEMBLES.md`).
 //!
 //! ## Quickstart
 //!
@@ -37,13 +40,19 @@
 //! println!("{}", twin.report());
 //! ```
 
+// Every public item must be documented; CI turns this (and all rustdoc
+// warnings) into errors via `cargo doc` with RUSTDOCFLAGS=-Dwarnings.
+#![warn(missing_docs)]
+
 pub mod config;
+pub mod ensemble;
 pub mod levels;
 pub mod surrogate;
 pub mod twin;
 pub mod whatif;
 
 pub use config::TwinConfig;
+pub use ensemble::{EnsembleRunner, ScenarioOutcome, TwinScenario};
 pub use levels::TwinLevel;
 pub use twin::DigitalTwin;
 

@@ -16,9 +16,9 @@ use exadigit_raps::power::PowerDelivery;
 use exadigit_raps::scheduler::Policy;
 use exadigit_raps::simulation::RapsSimulation;
 use exadigit_raps::stats::RunReport;
+use exadigit_sim::ensemble::EnsembleRunner;
 use exadigit_sim::fmi::CoSimModel;
 use exadigit_thermo::coldplate::ColdPlate;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 // ---------------------------------------------------------------------
@@ -41,24 +41,48 @@ pub struct PowerDeliveryStudy {
     pub outcomes: Vec<DeliveryOutcome>,
 }
 
+/// Replay `jobs` for `horizon_s` under a single delivery variant — the
+/// scenario unit batched by [`PowerDeliveryStudy::run`] and
+/// [`crate::ensemble`] (power-only: conversion losses do not feed back
+/// into cooling).
+pub fn run_delivery_variant(
+    system: &SystemConfig,
+    jobs: &[Job],
+    horizon_s: u64,
+    policy: Policy,
+    delivery: PowerDelivery,
+) -> DeliveryOutcome {
+    let mut sim = RapsSimulation::new(system.clone(), delivery, policy, 60);
+    sim.submit_jobs(jobs.to_vec());
+    sim.run_until(horizon_s).expect("power-only run cannot fail");
+    DeliveryOutcome { delivery, report: sim.report() }
+}
+
 impl PowerDeliveryStudy {
-    /// Replay `jobs` for `horizon_s` under each variant (rayon-parallel,
-    /// power-only — conversion losses do not feed back into cooling).
+    /// Replay `jobs` for `horizon_s` under each variant, batched across
+    /// the thread-pool executor at the process-default width.
     pub fn run(system: &SystemConfig, jobs: &[Job], horizon_s: u64, policy: Policy) -> Self {
-        let variants = [
+        Self::run_on(&EnsembleRunner::new(0), system, jobs, horizon_s, policy)
+    }
+
+    /// [`PowerDeliveryStudy::run`] on an explicit [`EnsembleRunner`]
+    /// (pool-width control; the study is deterministic, so the runner's
+    /// seed is irrelevant).
+    pub fn run_on(
+        runner: &EnsembleRunner,
+        system: &SystemConfig,
+        jobs: &[Job],
+        horizon_s: u64,
+        policy: Policy,
+    ) -> Self {
+        let variants = vec![
             PowerDelivery::StandardAC,
             PowerDelivery::SmartRectifiers,
             PowerDelivery::Direct380Vdc,
         ];
-        let outcomes: Vec<DeliveryOutcome> = variants
-            .into_par_iter()
-            .map(|delivery| {
-                let mut sim = RapsSimulation::new(system.clone(), delivery, policy, 60);
-                sim.submit_jobs(jobs.to_vec());
-                sim.run_until(horizon_s).expect("power-only run cannot fail");
-                DeliveryOutcome { delivery, report: sim.report() }
-            })
-            .collect();
+        let outcomes = runner.map(variants, |_ctx, delivery| {
+            run_delivery_variant(system, jobs, horizon_s, policy, delivery)
+        });
         PowerDeliveryStudy { outcomes }
     }
 
@@ -258,45 +282,72 @@ pub struct SetpointSweep {
     pub best: usize,
 }
 
+/// Build `model_spec`, apply `heat_per_cdu_w` to every CDU at the given
+/// wet-bulb, and step the plant to steady state (400 × 15 s) — the
+/// settling protocol shared by [`settle_setpoint`] and
+/// [`settle_weather_point`].
+fn settle_plant(
+    model_spec: PlantSpec,
+    heat_per_cdu_w: f64,
+    wet_bulb_c: f64,
+) -> Result<CoolingModel, String> {
+    let num_cdus = model_spec.num_cdus;
+    let mut model = CoolingModel::new(model_spec)?;
+    model.setup(0.0);
+    for i in 0..num_cdus {
+        model
+            .set_real(exadigit_sim::fmi::VarRef(i as u32), heat_per_cdu_w)
+            .map_err(|e| e.to_string())?;
+    }
+    let wb_vr = model.var_by_name("wet_bulb").expect("registry").vr;
+    model.set_real(wb_vr, wet_bulb_c).map_err(|e| e.to_string())?;
+    let it_vr = model.var_by_name("it_power").expect("registry").vr;
+    model
+        .set_real(it_vr, heat_per_cdu_w * num_cdus as f64 / 0.945)
+        .map_err(|e| e.to_string())?;
+    for k in 0..400 {
+        model.do_step(k as f64 * 15.0, 15.0).map_err(|e| e.to_string())?;
+    }
+    Ok(model)
+}
+
+/// Settle the plant at one basin setpoint and read off the optimisation
+/// objectives — the scenario unit batched by [`setpoint_sweep`] and
+/// [`crate::ensemble`].
+pub fn settle_setpoint(
+    spec: &PlantSpec,
+    setpoint_c: f64,
+    load_fraction: f64,
+    wet_bulb_c: f64,
+) -> Result<SetpointCandidate, String> {
+    let mut candidate_spec = spec.clone();
+    candidate_spec.towers.basin_setpoint_c = setpoint_c;
+    let model =
+        settle_plant(candidate_spec, spec.heat_per_cdu_w() * load_fraction, wet_bulb_c)?;
+    Ok(SetpointCandidate {
+        basin_setpoint_c: setpoint_c,
+        pue: model.output_by_name("pue").expect("output"),
+        cooling_power_w: model.output_by_name("cooling_power").expect("output"),
+        htws_temp_c: model.output_by_name("facility.htw_supply_temp").expect("output"),
+    })
+}
+
 /// Sweep the tower basin setpoint and pick the PUE optimum — the
 /// grid-search precursor of the paper's L5 use case ("automated setpoint
-/// control for improved cooling efficiency"). Runs candidates in
-/// parallel.
+/// control for improved cooling efficiency"). Candidates are batched
+/// across the thread-pool executor; on failure the lowest-index error is
+/// returned, deterministically.
 pub fn setpoint_sweep(
     spec: &PlantSpec,
     setpoints_c: &[f64],
     load_fraction: f64,
     wet_bulb_c: f64,
 ) -> Result<SetpointSweep, String> {
-    let candidates: Vec<SetpointCandidate> = setpoints_c
-        .par_iter()
-        .map(|&sp| {
-            let mut candidate_spec = spec.clone();
-            candidate_spec.towers.basin_setpoint_c = sp;
-            let mut model = CoolingModel::new(candidate_spec)?;
-            model.setup(0.0);
-            let heat = spec.heat_per_cdu_w() * load_fraction;
-            for i in 0..spec.num_cdus {
-                model
-                    .set_real(exadigit_sim::fmi::VarRef(i as u32), heat)
-                    .map_err(|e| e.to_string())?;
-            }
-            let wb_vr = model.var_by_name("wet_bulb").expect("registry").vr;
-            model.set_real(wb_vr, wet_bulb_c).map_err(|e| e.to_string())?;
-            let it_vr = model.var_by_name("it_power").expect("registry").vr;
-            model
-                .set_real(it_vr, heat * spec.num_cdus as f64 / 0.945)
-                .map_err(|e| e.to_string())?;
-            for k in 0..400 {
-                model.do_step(k as f64 * 15.0, 15.0).map_err(|e| e.to_string())?;
-            }
-            Ok(SetpointCandidate {
-                basin_setpoint_c: sp,
-                pue: model.output_by_name("pue").expect("output"),
-                cooling_power_w: model.output_by_name("cooling_power").expect("output"),
-                htws_temp_c: model.output_by_name("facility.htw_supply_temp").expect("output"),
-            })
+    let candidates: Vec<SetpointCandidate> = EnsembleRunner::new(0)
+        .map(setpoints_c.to_vec(), |_ctx, sp| {
+            settle_setpoint(spec, sp, load_fraction, wet_bulb_c)
         })
+        .into_iter()
         .collect::<Result<Vec<_>, String>>()?;
     let best = candidates
         .iter()
@@ -324,42 +375,35 @@ pub struct WeatherPoint {
     pub cooling_power_w: f64,
 }
 
+/// Settle the plant at one wet-bulb temperature — the scenario unit
+/// batched by [`weather_sweep`].
+pub fn settle_weather_point(
+    spec: &PlantSpec,
+    wet_bulb_c: f64,
+    load_fraction: f64,
+) -> Result<WeatherPoint, String> {
+    let model = settle_plant(spec.clone(), spec.heat_per_cdu_w() * load_fraction, wet_bulb_c)?;
+    Ok(WeatherPoint {
+        wet_bulb_c,
+        secondary_supply_c: model
+            .output_by_name("cdu[1].secondary_supply_temp")
+            .expect("output"),
+        pue: model.output_by_name("pue").expect("output"),
+        cooling_power_w: model.output_by_name("cooling_power").expect("output"),
+    })
+}
+
 /// Sweep the wet-bulb temperature at constant load — "understanding how
 /// weather correlates to GPU temperatures on the system" (§III-A).
+/// Points are batched across the thread-pool executor.
 pub fn weather_sweep(
     spec: &PlantSpec,
     wet_bulbs_c: &[f64],
     load_fraction: f64,
 ) -> Result<Vec<WeatherPoint>, String> {
-    wet_bulbs_c
-        .par_iter()
-        .map(|&wb| {
-            let mut model = CoolingModel::new(spec.clone())?;
-            model.setup(0.0);
-            let heat = spec.heat_per_cdu_w() * load_fraction;
-            for i in 0..spec.num_cdus {
-                model
-                    .set_real(exadigit_sim::fmi::VarRef(i as u32), heat)
-                    .map_err(|e| e.to_string())?;
-            }
-            let wb_vr = model.var_by_name("wet_bulb").expect("registry").vr;
-            model.set_real(wb_vr, wb).map_err(|e| e.to_string())?;
-            let it_vr = model.var_by_name("it_power").expect("registry").vr;
-            model
-                .set_real(it_vr, heat * spec.num_cdus as f64 / 0.945)
-                .map_err(|e| e.to_string())?;
-            for k in 0..400 {
-                model.do_step(k as f64 * 15.0, 15.0).map_err(|e| e.to_string())?;
-            }
-            Ok(WeatherPoint {
-                wet_bulb_c: wb,
-                secondary_supply_c: model
-                    .output_by_name("cdu[1].secondary_supply_temp")
-                    .expect("output"),
-                pue: model.output_by_name("pue").expect("output"),
-                cooling_power_w: model.output_by_name("cooling_power").expect("output"),
-            })
-        })
+    EnsembleRunner::new(0)
+        .map(wet_bulbs_c.to_vec(), |_ctx, wb| settle_weather_point(spec, wb, load_fraction))
+        .into_iter()
         .collect()
 }
 

@@ -25,6 +25,10 @@
 //! * [`uq`] — the Monte-Carlo uncertainty quantification the paper says it
 //!   embedded into RAPS following the NASEM recommendation (§IV).
 
+// Every public item must be documented; CI turns this (and all rustdoc
+// warnings) into errors via `cargo doc` with RUSTDOCFLAGS=-Dwarnings.
+#![warn(missing_docs)]
+
 pub mod arrivals;
 pub mod config;
 pub mod fingerprint;

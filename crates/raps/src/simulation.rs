@@ -88,7 +88,7 @@ pub struct SimOutputs {
     pub system_power_w: TimeSeries,
     /// Conversion loss, W, same cadence.
     pub loss_w: TimeSeries,
-    /// Node-allocation utilization in [0,1], same cadence.
+    /// Node-allocation utilization in \[0,1\], same cadence.
     pub utilization: TimeSeries,
     /// Conversion efficiency η_system, same cadence.
     pub efficiency: TimeSeries,

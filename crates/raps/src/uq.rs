@@ -13,9 +13,9 @@ use crate::job::Job;
 use crate::power::PowerDelivery;
 use crate::scheduler::Policy;
 use crate::simulation::RapsSimulation;
+use exadigit_sim::ensemble::{EnsembleRunner, ScenarioCtx};
 use exadigit_sim::stats::percentile;
 use exadigit_sim::Rng;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Relative 1-σ uncertainties applied to the power-model parameters.
@@ -91,9 +91,34 @@ pub fn perturb_config(cfg: &SystemConfig, pert: &UqPerturbations, rng: &mut Rng)
     c
 }
 
+/// Run one perturbed ensemble member to completion: draw a perturbation
+/// from `ctx`'s private stream, replay `jobs` for `horizon_s` seconds, and
+/// report the headline outputs. This is the single-scenario unit that
+/// [`run_ensemble`] and `exadigit_core::ensemble` batch across the pool.
+pub fn run_member(
+    cfg: &SystemConfig,
+    jobs: &[Job],
+    horizon_s: u64,
+    pert: &UqPerturbations,
+    ctx: &mut ScenarioCtx,
+) -> EnsembleMember {
+    let member_cfg = perturb_config(cfg, pert, &mut ctx.rng);
+    let mut sim =
+        RapsSimulation::new(member_cfg, PowerDelivery::StandardAC, Policy::FirstFit, 60);
+    sim.submit_jobs(jobs.to_vec());
+    sim.run_until(horizon_s).expect("no cooling attached, cannot fail");
+    let r = sim.report();
+    EnsembleMember {
+        avg_power_mw: r.avg_power_mw,
+        avg_loss_mw: r.avg_loss_mw,
+        energy_mwh: r.total_energy_mwh,
+    }
+}
+
 /// Run a Monte-Carlo ensemble: `members` perturbed replicas replay the same
-/// `jobs` for `horizon_s` seconds (rayon-parallel across members, mirroring
-/// the paper's parallel replay on a Frontier node).
+/// `jobs` for `horizon_s` seconds, batched across the thread-pool executor
+/// (mirroring the paper's parallel replay on a Frontier node). Uses the
+/// process-default pool width; use [`run_ensemble_on`] to control it.
 pub fn run_ensemble(
     cfg: &SystemConfig,
     jobs: &[Job],
@@ -102,29 +127,24 @@ pub fn run_ensemble(
     pert: &UqPerturbations,
     seed: u64,
 ) -> UqSummary {
+    run_ensemble_on(&EnsembleRunner::new(seed), cfg, jobs, horizon_s, members, pert)
+}
+
+/// [`run_ensemble`] on an explicit [`EnsembleRunner`] — the runner supplies
+/// the seed and the pool width. Output is bit-identical for every width
+/// (per-member RNG streams are keyed by member index, and the percentile
+/// reductions fold members in index order).
+pub fn run_ensemble_on(
+    runner: &EnsembleRunner,
+    cfg: &SystemConfig,
+    jobs: &[Job],
+    horizon_s: u64,
+    members: usize,
+    pert: &UqPerturbations,
+) -> UqSummary {
     assert!(members >= 2, "an ensemble needs at least two members");
-    let base_rng = Rng::new(seed);
-    let raw: Vec<EnsembleMember> = (0..members)
-        .into_par_iter()
-        .map(|m| {
-            let mut rng = base_rng.split(m as u64);
-            let member_cfg = perturb_config(cfg, pert, &mut rng);
-            let mut sim = RapsSimulation::new(
-                member_cfg,
-                PowerDelivery::StandardAC,
-                Policy::FirstFit,
-                60,
-            );
-            sim.submit_jobs(jobs.to_vec());
-            sim.run_until(horizon_s).expect("no cooling attached, cannot fail");
-            let r = sim.report();
-            EnsembleMember {
-                avg_power_mw: r.avg_power_mw,
-                avg_loss_mw: r.avg_loss_mw,
-                energy_mwh: r.total_energy_mwh,
-            }
-        })
-        .collect();
+    let raw: Vec<EnsembleMember> =
+        runner.run_draws(members, |ctx| run_member(cfg, jobs, horizon_s, pert, ctx));
 
     let powers: Vec<f64> = raw.iter().map(|m| m.avg_power_mw).collect();
     let losses: Vec<f64> = raw.iter().map(|m| m.avg_loss_mw).collect();

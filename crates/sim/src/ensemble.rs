@@ -1,0 +1,203 @@
+//! Scenario-batch execution: the generic half of the ensemble engine.
+//!
+//! The paper's hottest workloads are *ensembles* — Monte-Carlo UQ over the
+//! power-model parameters (§IV) and batched what-if studies (§IV-3) — all
+//! of which reduce to "run N independent scenarios, each with its own RNG
+//! stream, and gather the results in order". [`EnsembleRunner`] is that
+//! primitive: it fans scenarios out across the thread-pool executor behind
+//! the `rayon` façade and hands every scenario a [`ScenarioCtx`] carrying
+//! its index and a [`Rng`] stream split deterministically from the runner
+//! seed.
+//!
+//! Determinism: scenario `i` always receives stream `base.split(i)` and
+//! results are gathered in scenario order, so output is bit-identical for
+//! every pool width (`threads(1)` vs `threads(8)` — enforced by
+//! `tests/ensemble_determinism.rs`). See `docs/ENSEMBLES.md` for the
+//! architecture and the twin-level scenario types layered on top in
+//! `exadigit_core::ensemble`.
+
+use crate::rng::Rng;
+use rayon::prelude::*;
+
+/// Per-scenario execution context handed to every scenario closure.
+#[derive(Debug, Clone)]
+pub struct ScenarioCtx {
+    /// Position of this scenario in the batch (0-based); also its RNG
+    /// stream id.
+    pub index: usize,
+    /// This scenario's private random stream, `Rng::new(seed).split(index)`.
+    /// Independent of every other scenario's stream and of pool width.
+    pub rng: Rng,
+}
+
+/// A self-contained unit of twin work that an [`EnsembleRunner`] can batch:
+/// UQ draws, what-if variants, plant-spec sweep points, …
+///
+/// Implementations must be pure functions of `(self, ctx)` — no global
+/// state — so that batches stay reproducible under any pool width.
+pub trait Scenario: Sync {
+    /// What one run of this scenario produces.
+    type Output: Send;
+
+    /// Run the scenario to completion.
+    fn run(&self, ctx: &mut ScenarioCtx) -> Self::Output;
+}
+
+/// Batches N independent scenarios across the thread-pool executor with
+/// per-scenario RNG streams and order-deterministic gathering.
+///
+/// ```
+/// use exadigit_sim::ensemble::EnsembleRunner;
+///
+/// let runner = EnsembleRunner::new(42).threads(4);
+/// let draws: Vec<f64> = runner.run_draws(64, |ctx| ctx.rng.normal(0.0, 1.0));
+/// assert_eq!(draws.len(), 64);
+/// // Bit-identical at any width:
+/// let seq: Vec<f64> = EnsembleRunner::new(42).threads(1)
+///     .run_draws(64, |ctx| ctx.rng.normal(0.0, 1.0));
+/// assert_eq!(draws, seq);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnsembleRunner {
+    seed: u64,
+    threads: Option<usize>,
+}
+
+impl EnsembleRunner {
+    /// A runner whose scenario streams derive from `seed`. Pool width
+    /// defaults to the process-wide setting (`EXADIGIT_THREADS`, else
+    /// `RAYON_NUM_THREADS`, else the machine's available parallelism).
+    pub fn new(seed: u64) -> Self {
+        EnsembleRunner { seed, threads: None }
+    }
+
+    /// Pin the pool width for this runner's batches. `1` forces the
+    /// sequential reference path; larger values grow the global pool on
+    /// demand.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Drop any pinned width and fall back to the process-wide default.
+    pub fn threads_default(mut self) -> Self {
+        self.threads = None;
+        self
+    }
+
+    /// The seed scenario streams derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The pool width batches from this runner will use.
+    pub fn effective_threads(&self) -> usize {
+        self.threads.unwrap_or_else(rayon::current_num_threads)
+    }
+
+    /// Run a closure under this runner's pool-width setting.
+    fn with_pool<R>(&self, f: impl FnOnce() -> R) -> R {
+        match self.threads {
+            Some(n) => rayon::with_threads(n, f),
+            None => f(),
+        }
+    }
+
+    /// Batch heterogeneous inputs: apply `f` to every input in parallel,
+    /// each call receiving a [`ScenarioCtx`] with its own RNG stream.
+    /// Results are returned in input order.
+    pub fn map<T, R, F>(&self, inputs: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&mut ScenarioCtx, T) -> R + Sync,
+    {
+        let base = Rng::new(self.seed);
+        let indexed: Vec<(usize, T)> = inputs.into_iter().enumerate().collect();
+        self.with_pool(|| {
+            indexed
+                .into_par_iter()
+                .map(|(index, input)| {
+                    let mut ctx = ScenarioCtx { index, rng: base.split(index as u64) };
+                    f(&mut ctx, input)
+                })
+                .collect()
+        })
+    }
+
+    /// Batch `n` identical draws (the Monte-Carlo shape): `f` runs once per
+    /// index with that index's RNG stream.
+    pub fn run_draws<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut ScenarioCtx) -> R + Sync,
+    {
+        self.map((0..n).collect(), |ctx, _| f(ctx))
+    }
+
+    /// Batch a slice of [`Scenario`] values, gathering outputs in order.
+    pub fn run_scenarios<S: Scenario>(&self, scenarios: &[S]) -> Vec<S::Output> {
+        self.map(scenarios.iter().collect(), |ctx, scenario| scenario.run(ctx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_bit_identical_across_widths() {
+        let draw = |ctx: &mut ScenarioCtx| ctx.rng.normal(5.0, 2.0) + ctx.index as f64;
+        let seq = EnsembleRunner::new(7).threads(1).run_draws(128, draw);
+        for width in [2usize, 4, 8] {
+            let par = EnsembleRunner::new(7).threads(width).run_draws(128, draw);
+            let same = seq
+                .iter()
+                .zip(&par)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "width {width} changed ensemble bits");
+        }
+    }
+
+    #[test]
+    fn streams_are_independent_per_index() {
+        let draws = EnsembleRunner::new(3).threads(1).run_draws(16, |ctx| ctx.rng.uniform());
+        for (i, a) in draws.iter().enumerate() {
+            for b in &draws[i + 1..] {
+                assert_ne!(a, b, "two scenario streams collided");
+            }
+        }
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let inputs: Vec<u64> = (0..200).rev().collect();
+        let out = EnsembleRunner::new(0).threads(4).map(inputs.clone(), |ctx, x| (ctx.index, x));
+        for (i, (index, x)) in out.iter().enumerate() {
+            assert_eq!(*index, i);
+            assert_eq!(*x, inputs[i]);
+        }
+    }
+
+    #[test]
+    fn scenario_trait_batches() {
+        struct Offset(f64);
+        impl Scenario for Offset {
+            type Output = f64;
+            fn run(&self, ctx: &mut ScenarioCtx) -> f64 {
+                self.0 + ctx.rng.uniform()
+            }
+        }
+        let scenarios = [Offset(10.0), Offset(20.0), Offset(30.0)];
+        let out = EnsembleRunner::new(9).threads(2).run_scenarios(&scenarios);
+        assert_eq!(out.len(), 3);
+        assert!(out[0] >= 10.0 && out[0] < 11.0);
+        assert!(out[2] >= 30.0 && out[2] < 31.0);
+    }
+
+    #[test]
+    fn effective_threads_reports_pin() {
+        assert_eq!(EnsembleRunner::new(0).threads(6).effective_threads(), 6);
+        assert!(EnsembleRunner::new(0).effective_threads() >= 1);
+    }
+}

@@ -52,7 +52,12 @@ pub enum FmiError {
     /// Unknown value reference.
     UnknownVariable(VarRef),
     /// Attempted to set a non-input or get a value before stepping.
-    WrongCausality { vr: VarRef, expected: Causality },
+    WrongCausality {
+        /// The variable whose causality did not match.
+        vr: VarRef,
+        /// The causality the operation required.
+        expected: Causality,
+    },
     /// The model's internal solver failed to converge.
     SolverFailure(String),
     /// Step arguments were invalid (negative step, time mismatch...).

@@ -21,12 +21,21 @@
 //! * [`master`] — a simple multi-rate Jacobi co-simulation master that steps
 //!   several [`fmi::CoSimModel`]s and moves values across declared
 //!   connections.
+//! * [`ensemble`] — the scenario-batch engine: [`ensemble::EnsembleRunner`]
+//!   fans N independent scenarios (UQ draws, what-if variants, sweeps)
+//!   across the thread-pool executor with per-scenario RNG streams and
+//!   order-deterministic gathering (see `docs/ENSEMBLES.md`).
 //!
 //! Everything here is deliberately free of global state so that replays are
 //! reproducible: the same seed and configuration always produce bit-identical
 //! results (verified by the `determinism` integration test).
 
+// Every public item must be documented; CI turns this (and all rustdoc
+// warnings) into errors via `cargo doc` with RUSTDOCFLAGS=-Dwarnings.
+#![warn(missing_docs)]
+
 pub mod clock;
+pub mod ensemble;
 pub mod fmi;
 pub mod master;
 pub mod rng;
@@ -34,6 +43,7 @@ pub mod series;
 pub mod stats;
 
 pub use clock::SimClock;
+pub use ensemble::{EnsembleRunner, Scenario, ScenarioCtx};
 pub use fmi::{Causality, CoSimModel, FmiError, VarRef, VariableDescriptor, VariableRegistry};
 pub use rng::Rng;
 pub use series::TimeSeries;

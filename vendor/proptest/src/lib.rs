@@ -374,7 +374,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Accepted by [`vec`] for both exact and ranged lengths.
+    /// Accepted by [`vec()`] for both exact and ranged lengths.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         pub min: usize,

@@ -1,35 +1,188 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate, backed by a real thread pool.
 //!
-//! Exposes `into_par_iter()` / `par_iter()` returning a [`ParIter`] that
-//! implements `Iterator`, so every std combinator (`map`, `sum`,
-//! `collect`, …) works unchanged. Execution is sequential: the workspace's
-//! parallel call sites are all embarrassingly-parallel `map`s whose
-//! results are collected, so sequential evaluation is semantically
-//! identical (and keeps replay ordering bit-deterministic). Swapping in
-//! real rayon later is a manifest-only change.
+//! `par_iter()` / `into_par_iter()` return a [`ParIter`] whose combinators
+//! (`map`, `sum`, `collect`, `for_each`) execute on the process-global
+//! executor in [`pool`]: persistent worker threads claim items from a
+//! shared atomic counter (self-scheduling — dynamic load balancing at item
+//! granularity), while the calling thread participates so progress is
+//! always guaranteed.
+//!
+//! **Determinism contract:** every result lands in the slot of its source
+//! index and every reduction folds those slots sequentially in index
+//! order, so all outputs — including floating-point sums and first-`Err`
+//! selection — are bit-identical to a single-threaded run. Threading only
+//! changes wall-clock time, never a single output bit.
+//!
+//! Beyond the rayon API subset the workspace uses, the crate exposes two
+//! façade-specific controls (real rayon spells these `ThreadPoolBuilder` /
+//! `ThreadPool::install`): [`with_threads`] scopes an exact pool width
+//! over a closure, and `EXADIGIT_THREADS` / `RAYON_NUM_THREADS` set the
+//! process default. Swapping in real rayon remains a manifest-only change
+//! for code that sticks to the rayon-compatible subset.
 
-/// Wrapper marking an iterator as "parallel". Delegates to the inner
-/// iterator; order is the source order.
-pub struct ParIter<I>(pub I);
+#![warn(missing_docs)]
 
-impl<I: Iterator> Iterator for ParIter<I> {
-    type Item = I::Item;
+pub mod pool;
 
-    #[inline]
-    fn next(&mut self) -> Option<I::Item> {
-        self.0.next()
+pub use pool::{current_num_threads, with_threads};
+
+use std::iter::Sum;
+
+// ---------------------------------------------------------------------
+// Index-ordered parallel map (the one primitive everything reduces to)
+// ---------------------------------------------------------------------
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+
+/// A write-once result slot. Each index of a parallel loop is claimed by
+/// exactly one thread, which is the only writer of slot `i`; the caller
+/// reads the slots only after the loop has fully completed.
+struct Slot<T>(UnsafeCell<MaybeUninit<T>>);
+
+// SAFETY: disjoint indices are accessed by disjoint threads (claim counter
+// hands out each index once), and the caller's read happens after the
+// executor's completion barrier.
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+/// Apply `f` to every item on the pool and return results in source order.
+///
+/// On the panic path (an item panicking cancels the loop and re-raises on
+/// the caller), unclaimed inputs and already-computed outputs held in
+/// `MaybeUninit` slots are leaked rather than dropped — memory itself is
+/// still freed with the vectors. Acceptable for a propagating-panic path.
+fn parallel_map_ordered<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    if !pool::would_parallelize(items.len()) {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let input: Vec<Slot<T>> =
+        items.into_iter().map(|x| Slot(UnsafeCell::new(MaybeUninit::new(x)))).collect();
+    let output: Vec<Slot<R>> =
+        (0..n).map(|_| Slot(UnsafeCell::new(MaybeUninit::uninit()))).collect();
+    pool::run(n, |i| {
+        // SAFETY: index i is claimed exactly once, so this thread is the
+        // sole reader of input[i] and sole writer of output[i].
+        let item = unsafe { (*input[i].0.get()).assume_init_read() };
+        let r = f(item);
+        unsafe { (*output[i].0.get()).write(r) };
+    });
+    // pool::run returned normally ⇒ every item ran ⇒ every slot is filled.
+    output.into_iter().map(|s| unsafe { s.0.into_inner().assume_init() }).collect()
+}
+
+// ---------------------------------------------------------------------
+// Parallel iterator types
+// ---------------------------------------------------------------------
+
+/// A collection of items marked for parallel consumption. Produced by
+/// [`IntoParallelIterator::into_par_iter`] / [`IntoParallelRefIterator::par_iter`];
+/// consumed through [`ParIter::map`] and the reductions on [`ParMap`].
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every item in parallel. Lazy: execution happens at the
+    /// consuming reduction (`collect`, `sum`, `for_each`).
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap { items: self.items, f }
     }
 
-    #[inline]
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.0.size_hint()
+    /// Number of items behind this parallel iterator.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
     }
 }
 
+/// The result of [`ParIter::map`]: a pending parallel map with
+/// index-order-deterministic reductions.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Execute the map on the pool, results in source order.
+    fn run_ordered(self) -> Vec<R> {
+        parallel_map_ordered(self.items, &self.f)
+    }
+
+    /// Execute and gather into `C` in source-index order (`Vec<R>`, or
+    /// `Result<Vec<T>, E>` taking the lowest-index `Err`).
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        C::from_ordered_results(self.run_ordered())
+    }
+
+    /// Execute and sum in source-index order — a sequential left fold over
+    /// the gathered results, bit-identical to `Iterator::sum`.
+    pub fn sum<S: Sum<R>>(self) -> S {
+        self.run_ordered().into_iter().sum()
+    }
+
+    /// Execute and reduce with `op` in source-index order, starting from
+    /// `identity()` — the ordered analogue of rayon's `reduce`.
+    pub fn reduce(self, identity: impl Fn() -> R, op: impl Fn(R, R) -> R) -> R {
+        self.run_ordered().into_iter().fold(identity(), op)
+    }
+}
+
+/// Gathering half of a parallel reduction: build `Self` from per-item
+/// results delivered in source-index order.
+pub trait FromParallelIterator<T>: Sized {
+    /// Assemble from results already ordered by source index.
+    fn from_ordered_results(results: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_results(results: Vec<T>) -> Self {
+        results
+    }
+}
+
+/// Like sequential `collect::<Result<_, _>>`, the error returned is the
+/// lowest-index one — deterministic even though, unlike the sequential
+/// path, later items have already been computed.
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered_results(results: Vec<Result<T, E>>) -> Self {
+        results.into_iter().collect()
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<(), E> {
+    fn from_ordered_results(results: Vec<Result<T, E>>) -> Self {
+        results.into_iter().try_for_each(|r| r.map(|_| ()))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry traits
+// ---------------------------------------------------------------------
+
 /// `rayon::iter::IntoParallelIterator` equivalent.
 pub trait IntoParallelIterator: IntoIterator + Sized {
-    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
-        ParIter(self.into_iter())
+    /// Mark this collection for parallel consumption.
+    fn into_par_iter(self) -> ParIter<Self::Item> {
+        ParIter { items: self.into_iter().collect() }
     }
 }
 
@@ -38,9 +191,12 @@ impl<T: IntoIterator> IntoParallelIterator for T {}
 /// `rayon::iter::IntoParallelRefIterator` equivalent (`.par_iter()` on
 /// slices, `Vec`s, maps, …).
 pub trait IntoParallelRefIterator<'a> {
-    type Iter: Iterator;
+    /// Item yielded by reference.
+    type Item: 'a;
 
-    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+    /// Mark this collection's elements (by reference) for parallel
+    /// consumption.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
 }
 
 impl<'a, T: ?Sized> IntoParallelRefIterator<'a> for T
@@ -48,24 +204,31 @@ where
     &'a T: IntoIterator,
     T: 'a,
 {
-    type Iter = <&'a T as IntoIterator>::IntoIter;
+    type Item = <&'a T as IntoIterator>::Item;
 
-    fn par_iter(&'a self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
+    fn par_iter(&'a self) -> ParIter<Self::Item> {
+        ParIter { items: self.into_iter().collect() }
     }
 }
 
+/// Glob-import target mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap,
+    };
 }
 
+/// Path-compatibility alias for `rayon::iter`.
 pub mod iter {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParIter, ParMap,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::with_threads;
 
     #[test]
     fn range_map_sum() {
@@ -81,9 +244,60 @@ mod tests {
     }
 
     #[test]
-    fn result_collect_short_circuits() {
-        let r: Result<Vec<u32>, String> =
-            (0..5u32).into_par_iter().map(|x| if x < 3 { Ok(x) } else { Err("boom".into()) }).collect();
-        assert!(r.is_err());
+    fn result_collect_takes_lowest_index_error() {
+        let r: Result<Vec<u32>, String> = (0..5u32)
+            .into_par_iter()
+            .map(|x| if x < 3 { Ok(x) } else { Err(format!("boom {x}")) })
+            .collect();
+        assert_eq!(r, Err("boom 3".to_string()));
+    }
+
+    #[test]
+    fn collect_preserves_source_order_across_threads() {
+        let v: Vec<usize> = with_threads(8, || {
+            (0..1000usize)
+                .into_par_iter()
+                .map(|i| {
+                    if i % 97 == 0 {
+                        std::thread::yield_now(); // scramble completion order
+                    }
+                    i * 3
+                })
+                .collect()
+        });
+        assert_eq!(v, (0..1000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn float_sum_is_bit_identical_across_widths() {
+        // A sum whose value depends on association order: catches any
+        // tree/partial reduction creeping in.
+        let terms: Vec<f64> = (1..=4096u64).map(|i| 1.0 / i as f64).collect();
+        let seq: f64 = with_threads(1, || terms.par_iter().map(|&x| x).sum());
+        for width in [2usize, 4, 8] {
+            let par: f64 = with_threads(width, || terms.par_iter().map(|&x| x).sum());
+            assert_eq!(seq.to_bits(), par.to_bits(), "width {width} drifted");
+        }
+    }
+
+    #[test]
+    fn ordered_reduce_folds_left() {
+        let joined = with_threads(4, || {
+            (0..6u32)
+                .into_par_iter()
+                .map(|i| i.to_string())
+                .reduce(String::new, |acc, x| acc + &x)
+        });
+        assert_eq!(joined, "012345");
+    }
+
+    #[test]
+    fn owning_map_moves_non_copy_items() {
+        let items: Vec<String> = (0..64).map(|i| format!("item-{i}")).collect();
+        let lens: Vec<usize> =
+            with_threads(4, || items.into_par_iter().map(|s| s.len()).collect());
+        assert_eq!(lens.len(), 64);
+        assert_eq!(lens[0], "item-0".len());
+        assert_eq!(lens[63], "item-63".len());
     }
 }

@@ -1,0 +1,356 @@
+//! The work-distributing executor behind the `par_iter` façade.
+//!
+//! A process-global pool of persistent worker threads executes indexed
+//! parallel loops. Work distribution is *self-scheduling*: every worker
+//! (plus the calling thread, which always participates) claims the next
+//! unprocessed index from a shared atomic counter, so load balancing is
+//! dynamic at item granularity — the degenerate, contention-friendly form
+//! of work stealing for indexed loops, where the "deque" is the single
+//! shared pile of remaining indices.
+//!
+//! ## Determinism
+//!
+//! The executor only ever decides *which thread* computes item `i`; the
+//! result of item `i` lands in slot `i` regardless. All reductions
+//! downstream (`sum`, `collect`, first-`Err` selection) run sequentially
+//! in index order on the calling thread, so output is bit-identical to a
+//! single-threaded run — see `docs/ENSEMBLES.md` for the full contract.
+//!
+//! ## Blocking and nesting
+//!
+//! The caller participates in its own loop and never parks while work it
+//! could do remains, so a task always makes progress even when every
+//! worker is busy elsewhere. Parallel calls *from inside a worker* run
+//! inline (sequentially) instead of re-entering the pool; this trades
+//! nested parallelism for a structural no-deadlock guarantee.
+//!
+//! ## Sizing
+//!
+//! The default width is `EXADIGIT_THREADS`, else `RAYON_NUM_THREADS`,
+//! else [`std::thread::available_parallelism`]. [`with_threads`] overrides
+//! it for the duration of a closure (growing the pool on demand), which is
+//! what `EnsembleRunner::threads` and the thread-scaling benches use.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+thread_local! {
+    /// Set for the lifetime of a pool worker thread: parallel calls made
+    /// while it is set run inline instead of re-entering the pool.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Per-thread width override installed by [`with_threads`].
+    static THREAD_CAP: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// One queued parallel loop. `func` borrows the caller's stack frame; the
+/// caller must not return before every handle is retired (see the safety
+/// argument on [`run`]).
+struct Task {
+    /// Type- and lifetime-erased `&(dyn Fn(usize) + Sync)` running one item.
+    func: *const (dyn Fn(usize) + Sync),
+    /// Total number of items.
+    n: usize,
+    /// Next unclaimed index; `>= n` means exhausted (or cancelled).
+    next: AtomicUsize,
+    /// Worker handles not yet retired (popped-and-finished or reclaimed).
+    pending: AtomicUsize,
+    /// First panic observed in any item, to be re-thrown on the caller.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Signalled when `pending` reaches zero.
+    done: Condvar,
+}
+
+// SAFETY: `func` is a raw pointer only because the borrow it erases cannot
+// be named with a 'static task type. It is dereferenced exclusively between
+// queue pop and handle retirement, and `run` does not return (or unwind)
+// until `pending == 0`, so the pointee outlives every dereference. All other
+// fields are Sync by construction.
+unsafe impl Send for Task {}
+unsafe impl Sync for Task {}
+
+impl Task {
+    /// Claim-and-run loop shared by workers and the calling thread. Panics
+    /// in an item are captured (first wins) and cancel the remaining items.
+    fn run_items(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n {
+                break;
+            }
+            // SAFETY: see `unsafe impl Send for Task`.
+            let func = unsafe { &*self.func };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| func(i))) {
+                self.next.store(self.n, Ordering::Relaxed);
+                let mut slot = self.panic.lock().expect("panic slot poisoned");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+            }
+        }
+    }
+
+    /// Retire `k` handles; on the last one, wake the waiting caller.
+    fn retire(&self, k: usize) {
+        if k > 0 && self.pending.fetch_sub(k, Ordering::AcqRel) == k {
+            // Lock/unlock pairs with the caller's wait loop so the notify
+            // cannot slip between its condition check and its park.
+            drop(self.panic.lock().expect("panic slot poisoned"));
+            self.done.notify_all();
+        }
+    }
+}
+
+/// State shared between the workers and submitting threads.
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+    available: Condvar,
+}
+
+/// The global pool: shared queue plus a grow-only worker census.
+struct Registry {
+    shared: Arc<Shared>,
+    /// Number of worker threads spawned so far (they never exit).
+    spawned: Mutex<usize>,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(|| Registry {
+        shared: Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }),
+        spawned: Mutex::new(0),
+    })
+}
+
+impl Registry {
+    /// Grow the pool so at least `target` workers exist.
+    fn ensure_workers(&self, target: usize) {
+        let mut spawned = self.spawned.lock().expect("spawn census poisoned");
+        while *spawned < target {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("exadigit-par-{spawned}"))
+                .spawn(move || worker_loop(shared))
+                .expect("spawning a pool worker failed");
+            *spawned += 1;
+        }
+    }
+
+    fn workers(&self) -> usize {
+        *self.spawned.lock().expect("spawn census poisoned")
+    }
+}
+
+/// Body of every pool worker: pop a task handle, drain indices, retire.
+fn worker_loop(shared: Arc<Shared>) {
+    IN_POOL_WORKER.with(|f| f.set(true));
+    loop {
+        let task = {
+            let mut queue = shared.queue.lock().expect("task queue poisoned");
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    break task;
+                }
+                queue = shared.available.wait(queue).expect("task queue poisoned");
+            }
+        };
+        task.run_items();
+        task.retire(1);
+    }
+}
+
+/// Parse the first well-formed positive integer among the supported
+/// thread-count environment variables.
+fn env_threads() -> Option<usize> {
+    ["EXADIGIT_THREADS", "RAYON_NUM_THREADS"].iter().find_map(|var| {
+        std::env::var(var).ok().and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+    })
+}
+
+/// The pool width used when [`with_threads`] is not in effect:
+/// `EXADIGIT_THREADS`, else `RAYON_NUM_THREADS`, else the machine's
+/// available parallelism.
+pub fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        env_threads()
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// The width the *next* parallel call on this thread will use: the
+/// [`with_threads`] override if one is installed, else [`default_threads`].
+/// (Mirrors `rayon::current_num_threads`.)
+pub fn current_num_threads() -> usize {
+    THREAD_CAP.with(|c| c.get()).unwrap_or_else(default_threads)
+}
+
+/// True when a parallel call made right now would actually fan out rather
+/// than run inline on this thread.
+pub fn would_parallelize(n: usize) -> bool {
+    n > 1 && current_num_threads() > 1 && !IN_POOL_WORKER.with(|f| f.get())
+}
+
+/// Run `f` with every parallel call on this thread using a pool of exactly
+/// `threads` threads (the caller plus `threads - 1` workers), growing the
+/// global pool if needed. `threads == 1` forces sequential execution —
+/// the reference path for determinism tests. Restored on unwind.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_CAP.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_CAP.with(|c| c.replace(Some(threads.max(1)))));
+    f()
+}
+
+/// Execute `f(0..n)` across the pool, blocking until every item completed.
+/// Items run exactly once each, on an arbitrary thread; panics propagate to
+/// the caller after all in-flight items finish (remaining items are
+/// cancelled). Runs inline when `n <= 1`, when the effective width is 1, or
+/// when called from a pool worker.
+pub fn run<F: Fn(usize) + Sync>(n: usize, f: F) {
+    if !would_parallelize(n) {
+        for i in 0..n {
+            f(i);
+        }
+        return;
+    }
+
+    let registry = registry();
+    registry.ensure_workers(current_num_threads() - 1);
+    let helpers = (current_num_threads() - 1).min(n - 1).min(registry.workers());
+
+    let func: &(dyn Fn(usize) + Sync) = &f;
+    let task = Arc::new(Task {
+        // SAFETY: erased borrow of this frame; `run` waits for pending == 0
+        // (even on the panic path) before returning, so no worker can hold
+        // a dangling pointer.
+        func: unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(func)
+        },
+        n,
+        next: AtomicUsize::new(0),
+        pending: AtomicUsize::new(helpers),
+        panic: Mutex::new(None),
+        done: Condvar::new(),
+    });
+
+    {
+        let mut queue = registry.shared.queue.lock().expect("task queue poisoned");
+        for _ in 0..helpers {
+            queue.push_back(Arc::clone(&task));
+        }
+    }
+    registry.shared.available.notify_all();
+
+    // The caller works too — guaranteed progress even with a busy pool.
+    task.run_items();
+
+    // Reclaim handles no worker picked up (the loop is already exhausted,
+    // so they would only burn a pop); then wait out the in-flight workers.
+    {
+        let mut queue = registry.shared.queue.lock().expect("task queue poisoned");
+        let before = queue.len();
+        queue.retain(|t| !Arc::ptr_eq(t, &task));
+        let reclaimed = before - queue.len();
+        drop(queue);
+        task.retire(reclaimed);
+    }
+    let mut panic_slot = task.panic.lock().expect("panic slot poisoned");
+    while task.pending.load(Ordering::Acquire) > 0 {
+        panic_slot = task.done.wait(panic_slot).expect("panic slot poisoned");
+    }
+    if let Some(payload) = panic_slot.take() {
+        drop(panic_slot);
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_index_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..500).map(|_| AtomicU64::new(0)).collect();
+        with_threads(4, || {
+            run(hits.len(), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn sequential_when_width_is_one() {
+        with_threads(1, || {
+            assert!(!would_parallelize(64));
+            let order = Mutex::new(Vec::new());
+            run(8, |i| order.lock().unwrap().push(i));
+            assert_eq!(*order.lock().unwrap(), (0..8).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn with_threads_restores_on_exit_and_unwind() {
+        let outer = current_num_threads();
+        with_threads(3, || assert_eq!(current_num_threads(), 3));
+        assert_eq!(current_num_threads(), outer);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(5, || panic!("boom"));
+        }));
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(4, || {
+                run(64, |i| {
+                    if i == 17 {
+                        panic!("item 17 exploded");
+                    }
+                });
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "item 17 exploded");
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        with_threads(4, || {
+            run(4, |_| {
+                // From a pool worker (or the caller mid-loop is fine too):
+                // a nested call must complete without re-entering the pool.
+                run(8, |_| {});
+            });
+        });
+    }
+
+    #[test]
+    fn pool_survives_many_rounds() {
+        with_threads(4, || {
+            for round in 0..100usize {
+                let total = AtomicUsize::new(0);
+                run(round % 7 + 1, |i| {
+                    total.fetch_add(i + 1, Ordering::Relaxed);
+                });
+                let n = round % 7 + 1;
+                assert_eq!(total.load(Ordering::Relaxed), n * (n + 1) / 2);
+            }
+        });
+    }
+}
