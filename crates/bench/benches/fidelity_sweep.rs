@@ -1,0 +1,56 @@
+//! Fidelity-backend payoff: the same what-if grid at L3 vs L4.
+//!
+//! The paper motivates L3 surrogates because they "run in real-time";
+//! this bench quantifies the claim on the backend layer: a 16-point
+//! (load × wet-bulb) grid evaluated by settling the comprehensive L4
+//! plant at every point versus serving every point from the fitted
+//! surrogate. The acceptance target is L3 ≥10× faster than L4 (in
+//! practice it is orders of magnitude beyond that — polynomial
+//! evaluation versus 400 transient plant steps per point). Surrogate
+//! *training* is a one-off L4 cost paid outside the serving path and is
+//! measured separately. The first recorded baseline lives in
+//! `BENCH_fidelity_sweep.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exadigit_core::surrogate::{generate_training_data, Surrogate};
+use exadigit_core::whatif::{whatif_grid, Fidelity};
+use exadigit_cooling::PlantSpec;
+use std::hint::black_box;
+use std::time::Duration;
+
+const LOADS: [f64; 4] = [0.35, 0.5, 0.65, 0.8];
+const WET_BULBS: [f64; 4] = [11.0, 13.0, 15.0, 17.0];
+
+fn trained_surrogate(spec: &PlantSpec) -> Surrogate {
+    let samples = generate_training_data(spec, &[0.3, 0.6, 0.9], &[10.0, 14.0, 18.0], 400)
+        .expect("training sweep");
+    Surrogate::fit(&samples).expect("fit")
+}
+
+fn bench_fidelity_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fidelity_sweep");
+    group.measurement_time(Duration::from_secs(10)).sample_size(10);
+    let spec = PlantSpec::marconi100_like();
+    let l3 = Fidelity::Surrogate(trained_surrogate(&spec));
+
+    group.bench_function("grid16_l4_plant", |b| {
+        b.iter(|| {
+            let grid = whatif_grid(&spec, &Fidelity::Plant, &LOADS, &WET_BULBS).expect("L4");
+            black_box(grid.points[0].pue)
+        })
+    });
+    group.bench_function("grid16_l3_surrogate", |b| {
+        b.iter(|| {
+            let grid = whatif_grid(&spec, &l3, &LOADS, &WET_BULBS).expect("L3");
+            black_box(grid.points[0].pue)
+        })
+    });
+    // The one-off cost the L3 path pays up front (16 L4 settles + fit).
+    group.bench_function("l3_training_once", |b| {
+        b.iter(|| black_box(trained_surrogate(&spec).pue_train_rmse))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fidelity_sweep);
+criterion_main!(benches);

@@ -1,21 +1,23 @@
 //! Regenerates **Table IV** of the paper: "Daily statistics of DT from
 //! telemetry replay of 183 days" — min / avg / max / std of the daily
 //! aggregates over a 183-day synthetic workload, replayed through the
-//! coupled twin (cooling model attached, as in the paper's functional
-//! tests). Days run as one scenario batch on the thread-pool executor,
-//! exactly like the paper runs "the different days in parallel on a single
-//! Frontier node"; set `EXADIGIT_THREADS` to control the pool width.
+//! coupled twin. Days run as one scenario batch on the thread-pool
+//! executor, exactly like the paper runs "the different days in parallel
+//! on a single Frontier node"; set `EXADIGIT_THREADS` to control the
+//! pool width.
+//!
+//! The cooling side is fidelity-selectable (`--backend none|plant|
+//! surrogate`, see docs/FIDELITY.md): `plant` is the paper's L4
+//! configuration, `surrogate` trains one L3 model up front and shares
+//! the fitted polynomial across every day of the replay — the
+//! fast-model/slow-model split that makes large sweeps tractable.
 //!
 //! ```sh
-//! cargo run --release -p exadigit-bench --bin table4_daily_stats -- --days 183
+//! cargo run --release -p exadigit-bench --bin table4_daily_stats -- --days 183 --backend surrogate
 //! ```
 
-use exadigit_bench::{arg_u64, section};
-use exadigit_cooling::CoolingModel;
-use exadigit_raps::config::SystemConfig;
-use exadigit_raps::power::PowerDelivery;
-use exadigit_raps::scheduler::Policy;
-use exadigit_raps::simulation::{CoolingCoupling, RapsSimulation};
+use exadigit_bench::{arg_str, arg_u64, section};
+use exadigit_core::{CoolingBackend, DigitalTwin, SurrogateSource, TwinConfig};
 use exadigit_raps::workload::{WorkloadGenerator, WorkloadParams};
 use exadigit_sim::clock::SECONDS_PER_DAY;
 use exadigit_sim::{EnsembleRunner, Summary, Welford};
@@ -33,9 +35,10 @@ struct DayStats {
     loss_pct: f64,
     energy_mwh: f64,
     co2_tons: f64,
+    pue: f64,
 }
 
-fn run_day(day: u64, with_cooling: bool) -> DayStats {
+fn run_day(day: u64, backend: &CoolingBackend) -> DayStats {
     let mut generator = WorkloadGenerator::new(WorkloadParams::default(), 0xEADD);
     let mut jobs = generator.generate_day(day);
     let day_start = day * SECONDS_PER_DAY;
@@ -47,21 +50,15 @@ fn run_day(day: u64, with_cooling: bool) -> DayStats {
     let nodes_avg = jobs.iter().map(|j| j.nodes as f64).sum::<f64>() / n_jobs;
     let runtime_avg = jobs.iter().map(|j| j.wall_time_s as f64).sum::<f64>() / n_jobs / 60.0;
 
-    let mut sim = RapsSimulation::new(
-        SystemConfig::frontier(),
-        PowerDelivery::StandardAC,
-        Policy::FirstFit,
-        300,
-    );
-    if with_cooling {
-        let coupling =
-            CoolingCoupling::attach(Box::new(CoolingModel::frontier()), 25).expect("attach");
-        sim.attach_cooling(coupling);
-        sim.set_wet_bulb(SyntheticTwin::frontier().wet_bulb_day(day));
+    let mut cfg = TwinConfig::frontier().with_backend(backend.clone());
+    cfg.record_every_s = 300;
+    let mut twin = DigitalTwin::new(cfg).expect("frontier config with backend");
+    if !matches!(backend, CoolingBackend::None) {
+        twin.set_wet_bulb(SyntheticTwin::frontier().wet_bulb_day(day));
     }
-    sim.submit_jobs(jobs);
-    sim.run_until(SECONDS_PER_DAY).expect("day replay");
-    let r = sim.report();
+    twin.submit(jobs);
+    twin.run(SECONDS_PER_DAY).expect("day replay");
+    let r = twin.report();
     DayStats {
         tavg_s: tavg,
         nodes_per_job: nodes_avg,
@@ -73,18 +70,48 @@ fn run_day(day: u64, with_cooling: bool) -> DayStats {
         loss_pct: r.loss_percent,
         energy_mwh: r.total_energy_mwh,
         co2_tons: r.co2_tons,
+        pue: r.avg_pue.unwrap_or(f64::NAN),
+    }
+}
+
+/// Resolve `--backend` into a `CoolingBackend`, training the shared L3
+/// surrogate up front when asked for.
+fn select_backend(name: &str) -> CoolingBackend {
+    match name {
+        "none" => CoolingBackend::None,
+        "plant" => CoolingBackend::Plant,
+        "surrogate" => {
+            println!("  training the L3 surrogate once (shared across all days)...");
+            let t0 = std::time::Instant::now();
+            let sur = exadigit_core::surrogate::train_default(&TwinConfig::frontier().plant)
+                .expect("frontier surrogate trains");
+            println!("  trained in {:.1} s\n", t0.elapsed().as_secs_f64());
+            CoolingBackend::Surrogate(SurrogateSource::Fitted(sur))
+        }
+        other => {
+            eprintln!("unknown --backend {other} (expected none|plant|surrogate)");
+            std::process::exit(2);
+        }
     }
 }
 
 fn main() {
+    // The pre-backend `--cooling 0|1` flag is retired; unknown flags are
+    // otherwise ignored silently, so reject it loudly rather than run
+    // the wrong fidelity.
+    if std::env::args().any(|a| a == "--cooling") {
+        eprintln!("--cooling is retired: use --backend none|plant|surrogate");
+        std::process::exit(2);
+    }
     let days = arg_u64("--days", 183);
-    let with_cooling = arg_u64("--cooling", 1) != 0;
+    let backend_name = arg_str("--backend", "plant");
     section(&format!(
-        "Table IV — Daily statistics from telemetry replay of {days} days (cooling: {with_cooling})"
+        "Table IV — Daily statistics from telemetry replay of {days} days (backend: {backend_name})"
     ));
+    let backend = select_backend(&backend_name);
     let t0 = std::time::Instant::now();
-    let stats: Vec<DayStats> = EnsembleRunner::new(0)
-        .map((0..days).collect(), |_ctx, d| run_day(d, with_cooling));
+    let stats: Vec<DayStats> =
+        EnsembleRunner::new(0).map((0..days).collect(), |_ctx, d| run_day(d, &backend));
     let elapsed = t0.elapsed();
 
     let summarise = |f: fn(&DayStats) -> f64| -> Summary {
@@ -119,6 +146,13 @@ fn main() {
         println!(
             "  {label:<28} {:>8.1} {:>8.1} {:>8.1} {:>8.1}   {p_min}/{p_avg}/{p_max}/{p_std}",
             s.min, s.mean, s.max, s.std
+        );
+    }
+    if !matches!(backend, CoolingBackend::None) {
+        let pue = summarise(|s| s.pue);
+        println!(
+            "  {:<28} {:>8.3} {:>8.3} {:>8.3} {:>8.3}   (backend: {backend_name})",
+            "Avg PUE", pue.min, pue.mean, pue.max, pue.std
         );
     }
 

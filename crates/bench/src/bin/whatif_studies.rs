@@ -11,7 +11,10 @@
 //! ```
 
 use exadigit_bench::{arg_u64, section};
-use exadigit_core::whatif::{blockage_experiment, CoolingExtensionStudy, PowerDeliveryStudy};
+use exadigit_core::surrogate::{generate_training_data, Surrogate};
+use exadigit_core::whatif::{
+    blockage_experiment, whatif_grid, CoolingExtensionStudy, Fidelity, PowerDeliveryStudy,
+};
 use exadigit_cooling::PlantSpec;
 use exadigit_raps::config::SystemConfig;
 use exadigit_raps::power::PowerDelivery;
@@ -83,5 +86,44 @@ fn main() {
     println!(
         "  detector flagged CDUs: {:?} (0-based; threshold {} of median flow)",
         report.flagged, report.threshold
+    );
+
+    section("Fidelity backends — the same what-if grid at L3 vs L4 (docs/FIDELITY.md)");
+    let spec = PlantSpec::marconi100_like();
+    let t_train = std::time::Instant::now();
+    let samples = generate_training_data(&spec, &[0.3, 0.6, 0.9], &[10.0, 14.0, 18.0], 400)
+        .expect("training sweep");
+    let sur = Surrogate::fit(&samples).expect("fit");
+    let train_s = t_train.elapsed().as_secs_f64();
+    let loads = [0.35, 0.5, 0.65, 0.8];
+    let wbs = [11.0, 13.0, 15.0, 17.0];
+    let t4 = std::time::Instant::now();
+    let l4 = whatif_grid(&spec, &Fidelity::Plant, &loads, &wbs).expect("L4 grid");
+    let l4_s = t4.elapsed().as_secs_f64();
+    let t3 = std::time::Instant::now();
+    let l3 = whatif_grid(&spec, &Fidelity::Surrogate(sur), &loads, &wbs).expect("L3 grid");
+    let l3_s = t3.elapsed().as_secs_f64();
+    let max_err = l3
+        .points
+        .iter()
+        .zip(&l4.points)
+        .map(|(a, b)| (a.pue - b.pue).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "  {}-point grid: L4 {:.2} s, L3 {:.6} s (x{:.0} speedup; one-off training {:.1} s)",
+        l3.points.len(),
+        l4_s,
+        l3_s,
+        l4_s / l3_s.max(1e-12),
+        train_s
+    );
+    let envelope_note = if l3.extrapolations == 0 {
+        " (all inside the envelope)"
+    } else {
+        " (outside the training envelope — treat those PUEs as unreliable)"
+    };
+    println!(
+        "  max |ΔPUE| across the grid: {max_err:.4}; extrapolated points: {}{envelope_note}",
+        l3.extrapolations
     );
 }

@@ -41,6 +41,16 @@ pub fn arg_u64(flag: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Parse `--flag value` style string arguments (tiny, no deps).
+pub fn arg_str(flag: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
 /// Format watts as megawatts.
 pub fn mw(w: f64) -> f64 {
     w / 1e6
@@ -53,6 +63,7 @@ mod tests {
     #[test]
     fn arg_parse_default() {
         assert_eq!(arg_u64("--not-present", 42), 42);
+        assert_eq!(arg_str("--not-present", "plant"), "plant");
     }
 
     #[test]

@@ -24,6 +24,8 @@
 //! * [`stations`] — the Fig. 5 station registry mapping output names to
 //!   the numbered measurement locations.
 
+#![warn(missing_docs)]
+
 pub mod controls;
 pub mod model;
 pub mod plant;

@@ -4,13 +4,106 @@
 //! files describing the system architecture, the cooling system, the
 //! scheduler, and the power system" — [`TwinConfig`] is that file: the
 //! RAPS [`SystemConfig`], the AutoCSM [`PlantSpec`], the scheduling
-//! policy and the power-delivery variant, all JSON-serialisable.
+//! policy, the power-delivery variant and the cooling-fidelity backend,
+//! all JSON-serialisable.
+//!
+//! The [`CoolingBackend`] enum is the fidelity selector of the paper's
+//! Fig. 2 taxonomy: the same FMI boundary can be served by the L4
+//! comprehensive plant, the L3 machine-learned surrogate, or an L2
+//! telemetry-trace replay — or left unattached for power-only runs. See
+//! `docs/FIDELITY.md` for the level → module mapping.
 
-use exadigit_cooling::PlantSpec;
+use crate::levels::TwinLevel;
+use crate::surrogate::{self, Surrogate, SurrogateCoolingModel};
+use exadigit_cooling::{CoolingModel, PlantSpec};
 use exadigit_raps::config::SystemConfig;
 use exadigit_raps::power::PowerDelivery;
 use exadigit_raps::scheduler::Policy;
+use exadigit_sim::fmi::CoSimModel;
+use exadigit_telemetry::replay::{CoolingTrace, ReplayCoolingModel};
 use serde::{Deserialize, Serialize};
+
+/// Where an L3 surrogate backend gets its fitted model from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SurrogateSource {
+    /// Train [`surrogate::train_default`] from the config's plant spec
+    /// when the twin is built (slow once, then millisecond serving).
+    TrainDefault,
+    /// Serve a pre-fitted surrogate as-is — the path for sharing one
+    /// training run across a whole ensemble.
+    Fitted(Surrogate),
+}
+
+/// The cooling-fidelity backend attached across the FMI boundary.
+///
+/// Every variant materialises as a `Box<dyn CoSimModel>` exposing the
+/// same `cooling_vars` names, so `RapsSimulation`/`CoolingCoupling`
+/// need no per-backend knowledge; heterogeneous ensembles can mix
+/// fidelities in one pool pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CoolingBackend {
+    /// No cooling model (the paper's fast power-only replays: "about
+    /// nine minutes ... with cooling, or just three without").
+    None,
+    /// L4 comprehensive simulation: the AutoCSM-generated transient
+    /// plant from [`TwinConfig::plant`].
+    Plant,
+    /// L3 predictive surrogate serving PUE/cooling power from a fitted
+    /// polynomial.
+    Surrogate(SurrogateSource),
+    /// L2 informative replay answering from a recorded telemetry trace.
+    Replay(CoolingTrace),
+}
+
+impl CoolingBackend {
+    /// The Fig. 2 maturity level this backend realises (`None` for no
+    /// cooling attached).
+    pub fn level(&self) -> Option<TwinLevel> {
+        match self {
+            CoolingBackend::None => None,
+            CoolingBackend::Replay(_) => Some(TwinLevel::Informative),
+            CoolingBackend::Surrogate(_) => Some(TwinLevel::Predictive),
+            CoolingBackend::Plant => Some(TwinLevel::Comprehensive),
+        }
+    }
+
+    /// Whether building this backend instantiates the transient plant
+    /// model from [`TwinConfig::plant`] (and therefore requires the
+    /// system/plant CDU counts to agree).
+    pub fn attaches_plant(&self) -> bool {
+        matches!(self, CoolingBackend::Plant)
+    }
+
+    /// Materialise the backend as a co-simulation model exposing the
+    /// `cooling_vars` contract, or `Ok(None)` for [`CoolingBackend::None`].
+    ///
+    /// `plant` supplies the L4 model (and the training sweep for
+    /// [`SurrogateSource::TrainDefault`]); `num_cdus` is the number of
+    /// heat inputs the coupling will resolve.
+    pub fn build(
+        &self,
+        plant: &PlantSpec,
+        num_cdus: usize,
+    ) -> Result<Option<Box<dyn CoSimModel>>, String> {
+        match self {
+            CoolingBackend::None => Ok(None),
+            CoolingBackend::Plant => {
+                let model = CoolingModel::new(plant.clone())?;
+                Ok(Some(Box::new(model)))
+            }
+            CoolingBackend::Surrogate(source) => {
+                let fitted = match source {
+                    SurrogateSource::TrainDefault => surrogate::train_default(plant)?,
+                    SurrogateSource::Fitted(s) => s.clone(),
+                };
+                Ok(Some(Box::new(SurrogateCoolingModel::for_plant(fitted, plant, num_cdus))))
+            }
+            CoolingBackend::Replay(trace) => {
+                Ok(Some(Box::new(ReplayCoolingModel::new(trace.clone(), num_cdus))))
+            }
+        }
+    }
+}
 
 /// Configuration of a complete digital twin.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -23,29 +116,34 @@ pub struct TwinConfig {
     pub policy: Policy,
     /// Power-delivery variant.
     pub delivery: PowerDelivery,
-    /// Whether the cooling model is attached (the paper replays run
-    /// "about nine minutes ... with cooling, or just three without").
-    pub with_cooling: bool,
+    /// Cooling-fidelity backend attached across the FMI boundary.
+    pub cooling: CoolingBackend,
     /// Output recording cadence, seconds.
     pub record_every_s: u64,
 }
 
 impl TwinConfig {
-    /// The Frontier twin of the paper.
+    /// The Frontier twin of the paper (L4 plant backend).
     pub fn frontier() -> Self {
         TwinConfig {
             system: SystemConfig::frontier(),
             plant: PlantSpec::frontier(),
             policy: Policy::FirstFit,
             delivery: PowerDelivery::StandardAC,
-            with_cooling: true,
+            cooling: CoolingBackend::Plant,
             record_every_s: 15,
         }
     }
 
     /// Frontier without the cooling model (fast replays).
     pub fn frontier_power_only() -> Self {
-        TwinConfig { with_cooling: false, ..TwinConfig::frontier() }
+        TwinConfig { cooling: CoolingBackend::None, ..TwinConfig::frontier() }
+    }
+
+    /// Swap in a different cooling backend (builder style).
+    pub fn with_backend(mut self, cooling: CoolingBackend) -> Self {
+        self.cooling = cooling;
+        self
     }
 
     /// A Setonix-like multi-partition twin (§V).
@@ -55,7 +153,7 @@ impl TwinConfig {
             plant: PlantSpec::setonix_like(),
             policy: Policy::FirstFit,
             delivery: PowerDelivery::StandardAC,
-            with_cooling: true,
+            cooling: CoolingBackend::Plant,
             record_every_s: 15,
         }
     }
@@ -67,7 +165,7 @@ impl TwinConfig {
             plant: PlantSpec::marconi100_like(),
             policy: Policy::FirstFit,
             delivery: PowerDelivery::StandardAC,
-            with_cooling: true,
+            cooling: CoolingBackend::Plant,
             record_every_s: 15,
         }
     }
@@ -82,11 +180,14 @@ impl TwinConfig {
         serde_json::from_str(s)
     }
 
-    /// Cross-validate the pieces: CDU counts must agree between the power
-    /// system and the cooling plant.
+    /// Cross-validate the pieces. The system/plant CDU-count match is
+    /// only enforced when the selected backend actually instantiates the
+    /// plant: a surrogate or replay backend exposes whatever number of
+    /// heat inputs the system asks for, so a mismatched (or vestigial)
+    /// plant spec is not an error there.
     pub fn validate(&self) -> Result<(), String> {
         self.plant.validate()?;
-        if self.with_cooling && self.system.cooling.num_cdus != self.plant.num_cdus {
+        if self.cooling.attaches_plant() && self.system.cooling.num_cdus != self.plant.num_cdus {
             return Err(format!(
                 "system has {} CDUs but the plant models {}",
                 self.system.cooling.num_cdus, self.plant.num_cdus
@@ -124,8 +225,49 @@ mod tests {
         cfg.system.cooling.num_cdus = 7;
         assert!(cfg.validate().is_err());
         // Without cooling the mismatch is irrelevant.
-        cfg.with_cooling = false;
+        cfg.cooling = CoolingBackend::None;
         assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn cdu_mismatch_irrelevant_for_non_plant_backends() {
+        // Surrogate and replay backends expose as many heat inputs as the
+        // system asks for — the plant CDU count does not constrain them.
+        let mut cfg = TwinConfig::frontier();
+        cfg.system.cooling.num_cdus = 7;
+        cfg.cooling = CoolingBackend::Replay(CoolingTrace::constant(1.06, 5.0e5));
+        cfg.validate().expect("replay backend must not require the plant match");
+        cfg.cooling = CoolingBackend::Surrogate(SurrogateSource::TrainDefault);
+        cfg.validate().expect("surrogate backend must not require the plant match");
+    }
+
+    #[test]
+    fn backend_levels_follow_fig2() {
+        assert_eq!(CoolingBackend::None.level(), None);
+        assert_eq!(
+            CoolingBackend::Replay(CoolingTrace::constant(1.0, 0.0)).level(),
+            Some(TwinLevel::Informative)
+        );
+        assert_eq!(
+            CoolingBackend::Surrogate(SurrogateSource::TrainDefault).level(),
+            Some(TwinLevel::Predictive)
+        );
+        assert_eq!(CoolingBackend::Plant.level(), Some(TwinLevel::Comprehensive));
+        assert!(CoolingBackend::Plant.attaches_plant());
+        assert!(!CoolingBackend::Surrogate(SurrogateSource::TrainDefault).attaches_plant());
+    }
+
+    #[test]
+    fn backend_configs_json_round_trip() {
+        for cooling in [
+            CoolingBackend::None,
+            CoolingBackend::Plant,
+            CoolingBackend::Replay(CoolingTrace::constant(1.07, 4.0e5)),
+        ] {
+            let cfg = TwinConfig::frontier().with_backend(cooling);
+            let back = TwinConfig::from_json(&cfg.to_json()).unwrap();
+            assert_eq!(cfg, back);
+        }
     }
 
     #[test]

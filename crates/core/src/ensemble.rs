@@ -7,7 +7,9 @@
 //! vocabulary on top: [`TwinScenario`] names every scenario family the
 //! paper exercises — Monte-Carlo UQ draws (§IV), power-delivery what-ifs
 //! (§IV-3), and plant-spec sweep points (§III-A) — and [`run_batch`]
-//! executes an arbitrary mix of them in a single pool pass.
+//! executes an arbitrary mix of them in a single pool pass. Grid-point
+//! scenarios carry their own [`whatif::Fidelity`], so one batch can mix
+//! L3-surrogate and L4-plant evaluations (see `docs/FIDELITY.md`).
 //!
 //! To add a new scenario type, add a [`TwinScenario`] variant plus a
 //! matching [`ScenarioOutcome`] arm, and dispatch to a *single-scenario*
@@ -38,8 +40,8 @@
 pub use exadigit_sim::ensemble::{EnsembleRunner, Scenario, ScenarioCtx};
 
 use crate::whatif::{
-    self, run_delivery_variant, settle_setpoint, settle_weather_point, DeliveryOutcome,
-    SetpointCandidate, WeatherPoint,
+    self, evaluate_grid_point, run_delivery_variant, settle_setpoint, settle_weather_point,
+    DeliveryOutcome, Fidelity, GridOutcome, SetpointCandidate, WeatherPoint,
 };
 use exadigit_cooling::PlantSpec;
 use exadigit_raps::config::SystemConfig;
@@ -102,6 +104,20 @@ pub enum TwinScenario {
         /// Heat load as a fraction of plant design heat.
         load_fraction: f64,
     },
+    /// One point of a fidelity-selectable what-if grid. Because every
+    /// scenario owns its [`Fidelity`], one batch can mix L3 and L4
+    /// evaluations of the same operating points in a single pool pass —
+    /// e.g. a cheap surrogate sweep with plant-fidelity spot checks.
+    GridPoint {
+        /// Cooling-plant specification.
+        spec: PlantSpec,
+        /// Model fidelity answering this point.
+        fidelity: Fidelity,
+        /// Heat load as a fraction of plant design heat.
+        load_fraction: f64,
+        /// Ambient wet-bulb temperature, °C.
+        wet_bulb_c: f64,
+    },
 }
 
 /// What one [`TwinScenario`] produced, mirroring its variants.
@@ -115,6 +131,8 @@ pub enum ScenarioOutcome {
     Setpoint(SetpointCandidate),
     /// Settled plant condition of a weather point.
     Weather(WeatherPoint),
+    /// Evaluated what-if grid point (either fidelity).
+    Grid(GridOutcome),
 }
 
 impl Scenario for TwinScenario {
@@ -137,6 +155,10 @@ impl Scenario for TwinScenario {
             TwinScenario::WeatherPoint { spec, wet_bulb_c, load_fraction } => {
                 settle_weather_point(spec, *wet_bulb_c, *load_fraction)
                     .map(ScenarioOutcome::Weather)
+            }
+            TwinScenario::GridPoint { spec, fidelity, load_fraction, wet_bulb_c } => {
+                evaluate_grid_point(spec, fidelity, *load_fraction, *wet_bulb_c)
+                    .map(ScenarioOutcome::Grid)
             }
         }
     }
@@ -214,6 +236,51 @@ mod tests {
         assert!(matches!(outcomes[1], Ok(ScenarioOutcome::Delivery(_))));
         assert!(matches!(outcomes[2], Ok(ScenarioOutcome::Setpoint(_))));
         assert!(matches!(outcomes[3], Ok(ScenarioOutcome::Weather(_))));
+    }
+
+    #[test]
+    fn mixed_fidelity_grid_batch_in_one_pool_pass() {
+        // The same operating point at L3 and L4 in a single batch — the
+        // heterogeneous-fidelity ensemble the backend layer exists for.
+        let spec = exadigit_cooling::PlantSpec::marconi100_like();
+        let samples = crate::surrogate::generate_training_data(
+            &spec,
+            &[0.3, 0.6, 0.9],
+            &[10.0, 14.0, 18.0],
+            400, // match the grid's L4 settle protocol
+        )
+        .unwrap();
+        let sur = crate::surrogate::Surrogate::fit(&samples).unwrap();
+        let scenarios = vec![
+            TwinScenario::GridPoint {
+                spec: spec.clone(),
+                fidelity: Fidelity::Surrogate(sur.clone()),
+                load_fraction: 0.6,
+                wet_bulb_c: 14.0,
+            },
+            TwinScenario::GridPoint {
+                spec: spec.clone(),
+                fidelity: Fidelity::Plant,
+                load_fraction: 0.6,
+                wet_bulb_c: 14.0,
+            },
+            TwinScenario::GridPoint {
+                spec,
+                fidelity: Fidelity::Surrogate(sur),
+                load_fraction: 1.5, // outside the envelope
+                wet_bulb_c: 18.0,
+            },
+        ];
+        let outcomes = run_batch(&EnsembleRunner::new(3).threads(2), &scenarios);
+        let grid = |o: &Result<ScenarioOutcome, String>| match o {
+            Ok(ScenarioOutcome::Grid(g)) => *g,
+            other => panic!("unexpected outcome {other:?}"),
+        };
+        let (l3, l4, extrap) = (grid(&outcomes[0]), grid(&outcomes[1]), grid(&outcomes[2]));
+        assert!(!l3.extrapolated);
+        assert!(!l4.extrapolated);
+        assert!((l3.pue - l4.pue).abs() < 0.05, "L3 {} vs L4 {}", l3.pue, l4.pue);
+        assert!(extrap.extrapolated, "out-of-envelope point must be flagged");
     }
 
     #[test]

@@ -4,6 +4,10 @@
 //! ref. \[36\] (Autodesk): descriptive, informative, predictive, comprehensive,
 //! autonomous, and positions itself at L1 (visualization), L2 (telemetry
 //! validation) and L4 (modeling & simulation), with L3/L5 as future work.
+//! This reproduction additionally reaches L3: the surrogate cooling
+//! backend ([`crate::config::CoolingBackend::Surrogate`]) serves a
+//! machine-learned model across the same FMI boundary as the L4 plant
+//! (see `docs/FIDELITY.md` for the level → module mapping).
 
 use serde::{Deserialize, Serialize};
 
@@ -16,7 +20,10 @@ pub enum TwinLevel {
     /// L2 — incorporates telemetry for real-time insight (here: the
     /// synthetic-twin replay of `exadigit_telemetry`).
     Informative,
-    /// L3 — data-driven AI/ML predictive models (paper: future work).
+    /// L3 — data-driven AI/ML predictive models. Future work in the
+    /// paper; reachable here through the surrogate cooling backend
+    /// (`CoolingBackend::Surrogate` serving
+    /// [`crate::surrogate::Surrogate`] across the FMI boundary).
     Predictive,
     /// L4 — modeling & simulation for what-if scenarios (here: RAPS and
     /// the cooling plant).
@@ -68,13 +75,12 @@ impl TwinLevel {
         }
     }
 
-    /// Whether this reproduction implements the level (the paper covers
-    /// L1, L2 and L4; L3/L5 are future work there and here).
+    /// Whether this reproduction implements the level. The paper covers
+    /// L1, L2 and L4 with L3/L5 as future work; here L3 is also
+    /// implemented, via the surrogate cooling backend. Only L5
+    /// (autonomous control) remains open.
     pub fn implemented(&self) -> bool {
-        matches!(
-            self,
-            TwinLevel::Descriptive | TwinLevel::Informative | TwinLevel::Comprehensive
-        )
+        !matches!(self, TwinLevel::Autonomous)
     }
 }
 
@@ -97,10 +103,12 @@ mod tests {
     #[test]
     fn paper_coverage_pattern() {
         // Paper: "This paper covers using L1 for visualization, L2 for
-        // validation, and L4 for modeling and simulation."
+        // validation, and L4 for modeling and simulation." This
+        // reproduction goes one further: L3 is reachable through the
+        // surrogate cooling backend. L5 remains future work.
         assert!(TwinLevel::Descriptive.implemented());
         assert!(TwinLevel::Informative.implemented());
-        assert!(!TwinLevel::Predictive.implemented());
+        assert!(TwinLevel::Predictive.implemented());
         assert!(TwinLevel::Comprehensive.implemented());
         assert!(!TwinLevel::Autonomous.implemented());
     }

@@ -20,7 +20,10 @@
 //!
 //! This crate is the façade: [`DigitalTwin`] wires the modules together,
 //! [`TwinConfig`] is the JSON-loadable description of a whole system
-//! (§V generalisation), [`whatif`] hosts the §IV-3 experiments (smart
+//! (§V generalisation) whose [`CoolingBackend`] selects the cooling
+//! fidelity served across the FMI boundary — the L4 plant, the L3
+//! surrogate, an L2 telemetry replay, or none (see `docs/FIDELITY.md`),
+//! [`whatif`] hosts the §IV-3 experiments (smart
 //! load-sharing rectifiers, 380 V DC distribution, cooling-system
 //! extension, CDU blockage injection, thermal-throttle scans), and
 //! [`ensemble`] batches heterogeneous twin scenarios — UQ draws, what-if
@@ -51,9 +54,10 @@ pub mod surrogate;
 pub mod twin;
 pub mod whatif;
 
-pub use config::TwinConfig;
+pub use config::{CoolingBackend, SurrogateSource, TwinConfig};
 pub use ensemble::{EnsembleRunner, ScenarioOutcome, TwinScenario};
 pub use levels::TwinLevel;
+pub use surrogate::Surrogate;
 pub use twin::DigitalTwin;
 
 // Re-export the module crates under their paper names.

@@ -1,13 +1,14 @@
 //! The digital twin façade.
 //!
 //! [`DigitalTwin`] assembles the three modules of Fig. 1: RAPS drives the
-//! 1 s tick loop, the cooling model is generated from the plant spec
-//! (AutoCSM) and attached across the FMI-lite boundary at the 15 s
-//! cadence, and the scene graph provides the L1 representation. This is
-//! the type examples and what-if studies interact with.
+//! 1 s tick loop, the selected cooling backend (L4 plant, L3 surrogate,
+//! or L2 telemetry replay — see [`crate::config::CoolingBackend`] and
+//! `docs/FIDELITY.md`) is attached across the FMI-lite boundary at the
+//! 15 s cadence, and the scene graph provides the L1 representation.
+//! This is the type examples and what-if studies interact with.
 
 use crate::config::TwinConfig;
-use exadigit_cooling::CoolingModel;
+use crate::levels::TwinLevel;
 use exadigit_raps::job::Job;
 use exadigit_raps::power::PowerSnapshot;
 use exadigit_raps::simulation::{CoolingCoupling, RapsSimulation, SimOutputs};
@@ -24,7 +25,10 @@ pub struct DigitalTwin {
 }
 
 impl DigitalTwin {
-    /// Build the twin from a configuration (validates first).
+    /// Build the twin from a configuration (validates first). The
+    /// cooling backend is materialised here — every variant yields a
+    /// `Box<dyn CoSimModel>` exposing the same `cooling_vars` names, so
+    /// the coupling below is fidelity-agnostic.
     pub fn new(config: TwinConfig) -> Result<Self, String> {
         config.validate()?;
         let mut sim = RapsSimulation::new(
@@ -33,13 +37,19 @@ impl DigitalTwin {
             config.policy,
             config.record_every_s,
         );
-        if config.with_cooling {
-            let model = CoolingModel::new(config.plant.clone())?;
-            let coupling = CoolingCoupling::attach(Box::new(model), config.system.cooling.num_cdus)
+        let num_cdus = config.system.cooling.num_cdus;
+        if let Some(model) = config.cooling.build(&config.plant, num_cdus)? {
+            let coupling = CoolingCoupling::attach(model, num_cdus)
                 .map_err(|e| format!("cooling coupling failed: {e}"))?;
             sim.attach_cooling(coupling);
         }
         Ok(DigitalTwin { config, sim })
+    }
+
+    /// The Fig. 2 maturity level of the attached cooling backend
+    /// (`None` when running power-only).
+    pub fn cooling_level(&self) -> Option<TwinLevel> {
+        self.config.cooling.level()
     }
 
     /// Submit jobs (synthetic, benchmark, or telemetry-derived).
@@ -153,6 +163,56 @@ mod tests {
         let mut cfg = TwinConfig::frontier();
         cfg.system.cooling.num_cdus = 3;
         assert!(DigitalTwin::new(cfg).is_err());
+    }
+
+    #[test]
+    fn twin_with_replay_backend_serves_trace_pue() {
+        use crate::config::CoolingBackend;
+        use exadigit_telemetry::replay::CoolingTrace;
+        let cfg = TwinConfig::frontier()
+            .with_backend(CoolingBackend::Replay(CoolingTrace::constant(1.0625, 5.0e5)));
+        assert_eq!(cfg.cooling.level(), Some(crate::levels::TwinLevel::Informative));
+        let mut twin = DigitalTwin::new(cfg).unwrap();
+        twin.submit(vec![Job::new(1, "load", 1024, 600, 1, 0.8, 0.9)]);
+        twin.run(900).unwrap();
+        assert_eq!(twin.cooling_output("pue"), Some(1.0625));
+        assert_eq!(twin.cooling_output("cooling_power"), Some(5.0e5));
+        let r = twin.report();
+        assert_eq!(r.avg_pue, Some(1.0625));
+    }
+
+    #[test]
+    fn twin_with_fitted_surrogate_backend_reports_pue() {
+        use crate::config::{CoolingBackend, SurrogateSource};
+        use crate::surrogate::{Sample, Surrogate};
+        // A synthetic fit standing in for a trained surrogate (training
+        // the full Frontier envelope is exercised in the integration
+        // tests; unit scope here is the twin wiring).
+        let mut samples = Vec::new();
+        for li in 0..4 {
+            for wi in 0..4 {
+                let l = 0.1 + 0.25 * li as f64;
+                let w = 5.0 + 7.0 * wi as f64;
+                samples.push(Sample {
+                    load_fraction: l,
+                    wet_bulb_c: w,
+                    pue: 1.03 + 0.02 * l + 0.001 * w,
+                    cooling_power_w: 4.0e5 * (1.0 + l),
+                });
+            }
+        }
+        let sur = Surrogate::fit(&samples).unwrap();
+        let cfg = TwinConfig::frontier()
+            .with_backend(CoolingBackend::Surrogate(SurrogateSource::Fitted(sur)));
+        assert_eq!(cfg.cooling.level(), Some(crate::levels::TwinLevel::Predictive));
+        let mut twin = DigitalTwin::new(cfg).unwrap();
+        twin.submit(vec![Job::new(1, "load", 4096, 1800, 1, 0.8, 0.9)]);
+        twin.run(1800).unwrap();
+        let pue = twin.cooling_output("pue").expect("surrogate attached");
+        assert!((1.0..1.3).contains(&pue), "pue={pue}");
+        // The counted-warning channel is visible across the boundary.
+        let count = twin.cooling_output("surrogate.extrapolation_count").unwrap();
+        assert!(count >= 0.0);
     }
 
     #[test]

@@ -8,7 +8,15 @@
 //! virtually extending the cooling plant for a future secondary system,
 //! CDU blockage injection/detection (water quality), and thermal-throttle
 //! prediction.
+//!
+//! Plant-condition sweeps are fidelity-selectable (see
+//! `docs/FIDELITY.md`): [`whatif_grid`] evaluates the same
+//! (load × wet-bulb) grid either by settling the L4 plant at every point
+//! or by serving each point from a fitted L3 [`Surrogate`] — the paper's
+//! motivation for surrogates ("run in real-time") made concrete, since
+//! the L3 grid costs microseconds where the L4 grid costs seconds.
 
+use crate::surrogate::Surrogate;
 use exadigit_cooling::{CoolingModel, PlantSpec};
 use exadigit_raps::config::SystemConfig;
 use exadigit_raps::job::Job;
@@ -344,11 +352,9 @@ pub fn setpoint_sweep(
     wet_bulb_c: f64,
 ) -> Result<SetpointSweep, String> {
     let candidates: Vec<SetpointCandidate> = EnsembleRunner::new(0)
-        .map(setpoints_c.to_vec(), |_ctx, sp| {
+        .try_map(setpoints_c.to_vec(), |_ctx, sp| {
             settle_setpoint(spec, sp, load_fraction, wet_bulb_c)
-        })
-        .into_iter()
-        .collect::<Result<Vec<_>, String>>()?;
+        })?;
     let best = candidates
         .iter()
         .enumerate()
@@ -402,9 +408,125 @@ pub fn weather_sweep(
     load_fraction: f64,
 ) -> Result<Vec<WeatherPoint>, String> {
     EnsembleRunner::new(0)
-        .map(wet_bulbs_c.to_vec(), |_ctx, wb| settle_weather_point(spec, wb, load_fraction))
-        .into_iter()
-        .collect()
+        .try_map(wet_bulbs_c.to_vec(), |_ctx, wb| settle_weather_point(spec, wb, load_fraction))
+}
+
+// ---------------------------------------------------------------------
+// Fidelity-selectable what-if grid (L3 surrogate vs L4 plant)
+// ---------------------------------------------------------------------
+
+/// The model fidelity a plant-condition sweep runs at.
+///
+/// Both arms answer the same question — steady PUE and cooling power at
+/// a (load fraction, wet-bulb) operating point — through different
+/// machinery, so a sweep can trade accuracy for wall-clock per point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fidelity {
+    /// L4: settle the comprehensive transient plant at every point.
+    Plant,
+    /// L3: serve every point from a fitted surrogate (microseconds per
+    /// point; extrapolation outside the training envelope is flagged,
+    /// not fatal).
+    Surrogate(Surrogate),
+}
+
+impl Fidelity {
+    /// Short label for tables and bench IDs (`"L3"` / `"L4"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fidelity::Plant => "L4",
+            Fidelity::Surrogate(_) => "L3",
+        }
+    }
+}
+
+/// One evaluated point of a fidelity-selectable what-if grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridOutcome {
+    /// Load fraction of plant design heat.
+    pub load_fraction: f64,
+    /// Wet-bulb temperature, °C.
+    pub wet_bulb_c: f64,
+    /// Steady PUE at the operating point.
+    pub pue: f64,
+    /// Steady cooling auxiliary power, W.
+    pub cooling_power_w: f64,
+    /// True when an L3 backend answered from outside its training
+    /// envelope (always false at L4).
+    pub extrapolated: bool,
+}
+
+/// A completed what-if grid with its extrapolation tally.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WhatIfGrid {
+    /// Outcomes in (load-major, wet-bulb-minor) sweep order.
+    pub points: Vec<GridOutcome>,
+    /// How many points were answered by extrapolation — the counted
+    /// warning the paper's caveat about interpolative L3 models demands.
+    pub extrapolations: usize,
+}
+
+/// Evaluate one grid point at the chosen fidelity — the scenario unit
+/// batched by [`whatif_grid`] and [`crate::ensemble`]'s `GridPoint`.
+pub fn evaluate_grid_point(
+    spec: &PlantSpec,
+    fidelity: &Fidelity,
+    load_fraction: f64,
+    wet_bulb_c: f64,
+) -> Result<GridOutcome, String> {
+    match fidelity {
+        Fidelity::Plant => {
+            let model =
+                settle_plant(spec.clone(), spec.heat_per_cdu_w() * load_fraction, wet_bulb_c)?;
+            Ok(GridOutcome {
+                load_fraction,
+                wet_bulb_c,
+                pue: model.output_by_name("pue").expect("output"),
+                cooling_power_w: model.output_by_name("cooling_power").expect("output"),
+                extrapolated: false,
+            })
+        }
+        Fidelity::Surrogate(sur) => Ok(GridOutcome {
+            load_fraction,
+            wet_bulb_c,
+            pue: sur.predict_pue(load_fraction, wet_bulb_c),
+            cooling_power_w: sur.predict_cooling_power(load_fraction, wet_bulb_c),
+            extrapolated: !sur.in_domain(load_fraction, wet_bulb_c),
+        }),
+    }
+}
+
+/// Evaluate a (load × wet-bulb) grid at the chosen fidelity, batched
+/// across the thread-pool executor at the process-default width.
+pub fn whatif_grid(
+    spec: &PlantSpec,
+    fidelity: &Fidelity,
+    loads: &[f64],
+    wet_bulbs: &[f64],
+) -> Result<WhatIfGrid, String> {
+    whatif_grid_on(&EnsembleRunner::new(0), spec, fidelity, loads, wet_bulbs)
+}
+
+/// [`whatif_grid`] on an explicit [`EnsembleRunner`] (pool-width
+/// control; grid evaluation is deterministic, so the runner's seed is
+/// irrelevant).
+pub fn whatif_grid_on(
+    runner: &EnsembleRunner,
+    spec: &PlantSpec,
+    fidelity: &Fidelity,
+    loads: &[f64],
+    wet_bulbs: &[f64],
+) -> Result<WhatIfGrid, String> {
+    let mut cells = Vec::with_capacity(loads.len() * wet_bulbs.len());
+    for &l in loads {
+        for &w in wet_bulbs {
+            cells.push((l, w));
+        }
+    }
+    let points = runner
+        .try_map(cells, |_ctx, (l, w)| evaluate_grid_point(spec, fidelity, l, w))?;
+    let extrapolations = points.iter().filter(|p| p.extrapolated).count();
+    Ok(WhatIfGrid { points, extrapolations })
 }
 
 // ---------------------------------------------------------------------
@@ -531,6 +653,56 @@ mod tests {
         // cooling effort are non-decreasing in wet-bulb.
         assert!(points[2].secondary_supply_c >= points[0].secondary_supply_c - 0.5);
         assert!(points[2].cooling_power_w >= points[0].cooling_power_w * 0.95);
+    }
+
+    #[test]
+    fn grid_fidelities_agree_inside_the_envelope() {
+        // Train a surrogate on the small plant with the same 400-step
+        // settle protocol the L4 grid uses, over a wet-bulb range that
+        // stays inside one tower-staging regime (above ~wb 20 °C this
+        // plant stages an extra cell, a PUE cliff no quadratic can
+        // track — the training-envelope caveat in docs/FIDELITY.md).
+        let spec = exadigit_cooling::PlantSpec::marconi100_like();
+        let samples = crate::surrogate::generate_training_data(
+            &spec,
+            &[0.3, 0.6, 0.9],
+            &[10.0, 14.0, 18.0],
+            400,
+        )
+        .unwrap();
+        let sur = crate::surrogate::Surrogate::fit(&samples).unwrap();
+        let loads = [0.45, 0.7];
+        let wbs = [12.0, 16.0];
+        let l3 = whatif_grid(&spec, &Fidelity::Surrogate(sur), &loads, &wbs).unwrap();
+        let l4 = whatif_grid(&spec, &Fidelity::Plant, &loads, &wbs).unwrap();
+        assert_eq!(l3.points.len(), 4);
+        assert_eq!(l3.extrapolations, 0, "interior points must not extrapolate");
+        for (a, b) in l3.points.iter().zip(&l4.points) {
+            assert_eq!(a.load_fraction, b.load_fraction);
+            assert_eq!(a.wet_bulb_c, b.wet_bulb_c);
+            assert!((a.pue - b.pue).abs() < 0.01, "L3 {} vs L4 {}", a.pue, b.pue);
+            assert!(!b.extrapolated, "L4 never extrapolates");
+        }
+    }
+
+    #[test]
+    fn grid_flags_extrapolation_outside_the_envelope() {
+        let spec = exadigit_cooling::PlantSpec::marconi100_like();
+        let samples = crate::surrogate::generate_training_data(
+            &spec,
+            &[0.3, 0.6, 0.9],
+            &[10.0, 18.0, 26.0],
+            50,
+        )
+        .unwrap();
+        let sur = crate::surrogate::Surrogate::fit(&samples).unwrap();
+        let grid =
+            whatif_grid(&spec, &Fidelity::Surrogate(sur), &[0.6, 1.4], &[18.0, 35.0]).unwrap();
+        // (0.6, 18) is interior; (0.6, 35), (1.4, 18), (1.4, 35) are not.
+        assert_eq!(grid.extrapolations, 3);
+        assert!(!grid.points[0].extrapolated);
+        assert!(grid.points[1].extrapolated);
+        assert_eq!(Fidelity::Plant.label(), "L4");
     }
 
     #[test]

@@ -40,7 +40,13 @@ pub enum BranchElement {
     /// Modulating control valve (resistance depends on opening).
     Valve(ControlValve),
     /// Centrifugal pump with a relative speed command in `[0, 1]`.
-    Pump { pump: Pump, speed: f64 },
+    Pump {
+        /// The pump's head curve and design point.
+        pump: Pump,
+        /// Relative speed command in `[0, 1]` (affinity laws scale the
+        /// head curve).
+        speed: f64,
+    },
     /// Check valve: negligible drop forward, near-blocking reverse.
     CheckValve {
         /// Forward-flow resistance, Pa/(m³/s)².

@@ -18,6 +18,8 @@
 //!   Newton steps;
 //! * [`thermal`] provides stream-mixing helpers for junction temperatures.
 
+#![warn(missing_docs)]
+
 pub mod hydraulic;
 pub mod linalg;
 pub mod ode;

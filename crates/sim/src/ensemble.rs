@@ -125,6 +125,23 @@ impl EnsembleRunner {
         })
     }
 
+    /// Fallible batch: like [`EnsembleRunner::map`] but for scenario
+    /// functions returning `Result`. All scenarios run to completion
+    /// (no cross-thread short-circuit — that would make *which* error
+    /// surfaces depend on pool timing); the gathered outcomes are then
+    /// folded in index order, so on failure the lowest-index error is
+    /// returned, matching sequential short-circuit semantics exactly.
+    /// This is the shape every fidelity-selectable what-if sweep uses.
+    pub fn try_map<T, R, E, F>(&self, inputs: Vec<T>, f: F) -> Result<Vec<R>, E>
+    where
+        T: Send,
+        R: Send,
+        E: Send,
+        F: Fn(&mut ScenarioCtx, T) -> Result<R, E> + Sync,
+    {
+        self.map(inputs, f).into_iter().collect()
+    }
+
     /// Batch `n` identical draws (the Monte-Carlo shape): `f` runs once per
     /// index with that index's RNG stream.
     pub fn run_draws<R, F>(&self, n: usize, f: F) -> Vec<R>
@@ -177,6 +194,22 @@ mod tests {
             assert_eq!(*index, i);
             assert_eq!(*x, inputs[i]);
         }
+    }
+
+    #[test]
+    fn try_map_returns_lowest_index_error() {
+        let runner = EnsembleRunner::new(0).threads(4);
+        let out: Result<Vec<u64>, String> = runner.try_map((0..64u64).collect(), |_ctx, x| {
+            if x % 10 == 7 {
+                Err(format!("bad {x}"))
+            } else {
+                Ok(x * 2)
+            }
+        });
+        assert_eq!(out, Err("bad 7".to_string()));
+        let ok: Result<Vec<u64>, String> =
+            runner.try_map((0..8u64).collect(), |_ctx, x| Ok(x + 1));
+        assert_eq!(ok.unwrap(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
     }
 
     #[test]

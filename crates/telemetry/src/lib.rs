@@ -15,14 +15,21 @@
 //!   architecture was developed for reading different types of bespoke
 //!   telemetry datasets"), including a PM100-like adapter;
 //! * [`writer`] — CSV/JSON writers for generated datasets;
-//! * [`validate`] — channel-comparison metrics for V&V reports.
+//! * [`validate`] — channel-comparison metrics for V&V reports;
+//! * [`replay`] — the L2 cooling backend: a `CoSimModel` that answers
+//!   the FMI boundary from a recorded trace instead of simulating the
+//!   plant (see `docs/FIDELITY.md`).
+
+#![warn(missing_docs)]
 
 pub mod generator;
 pub mod reader;
+pub mod replay;
 pub mod schema;
 pub mod validate;
 pub mod writer;
 
 pub use generator::{SyntheticTwin, TelemetryDay, TwinParams};
+pub use replay::{CoolingTrace, ReplayCoolingModel};
 pub use schema::{CoolingChannels, JobRecord};
 pub use validate::{compare_channels, ChannelComparison};

@@ -1,0 +1,318 @@
+//! L2 cooling backend: answer the FMI boundary from a recorded trace.
+//!
+//! The paper's L2 ("informative") twin incorporates telemetry for
+//! real-time insight rather than simulating physics. This module makes
+//! that fidelity level reachable from the coupled twin: a
+//! [`ReplayCoolingModel`] implements [`CoSimModel`] with exactly the
+//! variable names RAPS resolves at attach time (`cdu_heat[i]`,
+//! `wet_bulb`, `it_power`, `pue`, `cooling_power`), but instead of
+//! stepping a plant it samples a [`CoolingTrace`] at the current
+//! simulation time. Heat and weather inputs are accepted and recorded
+//! (the coupling contract) and simply do not influence the outputs —
+//! the trace already *is* the measured answer.
+//!
+//! Traces come from two places: [`CoolingTrace::from_telemetry`] lifts a
+//! recorded [`TelemetryDay`] into a trace (the telemetry-replay path of
+//! Fig. 9), and [`CoolingTrace::constant`] builds the trivial
+//! steady-state trace used by tests and quick studies.
+
+use crate::generator::TelemetryDay;
+use exadigit_sim::fmi::{
+    Causality, CoSimModel, FmiError, VarRef, VariableDescriptor, VariableRegistry,
+};
+use exadigit_sim::TimeSeries;
+use serde::{Deserialize, Serialize};
+
+/// One auxiliary recorded channel served by a [`ReplayCoolingModel`]
+/// (e.g. a CDU supply temperature), exposed as a read-only local
+/// variable under its recorded name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceChannel {
+    /// Variable name the channel is registered under (FMI dotted style,
+    /// e.g. `cdu[1].secondary_supply_temp`).
+    pub name: String,
+    /// Recorded values over simulated time.
+    pub series: TimeSeries,
+}
+
+/// A recorded cooling trace: the measured answers a [`ReplayCoolingModel`]
+/// serves across the FMI boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoolingTrace {
+    /// Measured PUE over simulated time.
+    pub pue: TimeSeries,
+    /// Measured cooling auxiliary power, W, over simulated time.
+    pub cooling_power_w: TimeSeries,
+    /// Additional recorded channels, served verbatim by name.
+    pub channels: Vec<TraceChannel>,
+}
+
+impl CoolingTrace {
+    /// Trace from explicit PUE and cooling-power series.
+    pub fn new(pue: TimeSeries, cooling_power_w: TimeSeries) -> Self {
+        CoolingTrace { pue, cooling_power_w, channels: Vec::new() }
+    }
+
+    /// Trivial steady trace: constant PUE and cooling power over any
+    /// horizon (two samples an hour apart; [`TimeSeries::sample_at`]
+    /// holds the last value beyond the end).
+    pub fn constant(pue: f64, cooling_power_w: f64) -> Self {
+        CoolingTrace::new(
+            TimeSeries::from_values(0.0, 3600.0, vec![pue, pue]),
+            TimeSeries::from_values(0.0, 3600.0, vec![cooling_power_w, cooling_power_w]),
+        )
+    }
+
+    /// Attach an auxiliary channel (builder style).
+    pub fn with_channel(mut self, name: impl Into<String>, series: TimeSeries) -> Self {
+        self.channels.push(TraceChannel { name: name.into(), series });
+        self
+    }
+
+    /// Lift a recorded telemetry day into a replay trace.
+    ///
+    /// The PUE channel is taken verbatim (Table II records it at 15 s).
+    /// Cooling power is not a Table II channel, so it is reconstructed
+    /// from the PUE definition: `aux = (PUE − 1) × P_IT`, sampling the
+    /// measured 1 s system power at each PUE timestamp. Per-CDU return
+    /// temperatures ride along as auxiliary channels.
+    pub fn from_telemetry(day: &TelemetryDay) -> Self {
+        let pue = day.cooling.pue.clone();
+        let mut cooling_power = TimeSeries::with_capacity(pue.t0, pue.dt, pue.values.len());
+        for (i, &p) in pue.values.iter().enumerate() {
+            let t = pue.t0 + i as f64 * pue.dt;
+            let it_w = day.measured_power_w.sample_at(t);
+            cooling_power.push((p - 1.0).max(0.0) * it_w);
+        }
+        let mut trace = CoolingTrace::new(pue, cooling_power);
+        for (i, series) in day.cooling.cdu_return_temp.iter().enumerate() {
+            trace = trace
+                .with_channel(format!("cdu[{}].primary_return_temp", i + 1), series.clone());
+        }
+        trace
+    }
+}
+
+/// The L2 cooling backend: a [`CoSimModel`] that plays back a
+/// [`CoolingTrace`] instead of simulating a plant.
+///
+/// The registry exposes `num_cdus` heat inputs plus `wet_bulb` and
+/// `it_power` (so [`CoolingCoupling::attach`] resolves the same names it
+/// would against the L4 plant), the `pue` and `cooling_power` outputs
+/// served from the trace, and one local variable per auxiliary channel.
+///
+/// [`CoolingCoupling::attach`]: exadigit_raps::simulation::CoolingCoupling::attach
+pub struct ReplayCoolingModel {
+    trace: CoolingTrace,
+    vars: Vec<VariableDescriptor>,
+    values: Vec<f64>,
+    num_cdus: usize,
+    /// Current simulation time the outputs are sampled at, seconds.
+    time_s: f64,
+}
+
+impl ReplayCoolingModel {
+    /// Replay model exposing `num_cdus` heat inputs over the given trace.
+    pub fn new(trace: CoolingTrace, num_cdus: usize) -> Self {
+        let mut reg = VariableRegistry::new();
+        for i in 1..=num_cdus {
+            reg.register(
+                format!("cdu_heat[{i}]"),
+                "W",
+                Causality::Input,
+                format!("Heat extracted into CDU {i}'s liquid loop (recorded, not simulated)"),
+            );
+        }
+        reg.register("wet_bulb", "degC", Causality::Input, "Outdoor wet-bulb temperature");
+        reg.register("it_power", "W", Causality::Input, "Total IT power (recorded, not used)");
+        reg.register("pue", "1", Causality::Output, "Measured PUE from the trace");
+        reg.register(
+            "cooling_power",
+            "W",
+            Causality::Output,
+            "Measured cooling auxiliary power from the trace",
+        );
+        for ch in &trace.channels {
+            reg.register(
+                ch.name.clone(),
+                "1",
+                Causality::Local,
+                "Auxiliary recorded channel served verbatim",
+            );
+        }
+        let values = vec![0.0; reg.len()];
+        let mut model =
+            ReplayCoolingModel { trace, vars: reg.into_vec(), values, num_cdus, time_s: 0.0 };
+        model.refresh_outputs();
+        model
+    }
+
+    /// The trace being replayed.
+    pub fn trace(&self) -> &CoolingTrace {
+        &self.trace
+    }
+
+    fn refresh_outputs(&mut self) {
+        let t = self.time_s;
+        let pue_idx = self.num_cdus + 2;
+        self.values[pue_idx] = self.trace.pue.sample_at(t);
+        self.values[pue_idx + 1] = self.trace.cooling_power_w.sample_at(t);
+        for (k, ch) in self.trace.channels.iter().enumerate() {
+            self.values[pue_idx + 2 + k] = ch.series.sample_at(t);
+        }
+    }
+}
+
+impl CoSimModel for ReplayCoolingModel {
+    fn instance_name(&self) -> &str {
+        "telemetry-replay"
+    }
+
+    fn variables(&self) -> &[VariableDescriptor] {
+        &self.vars
+    }
+
+    fn setup(&mut self, start_time: f64) {
+        self.time_s = start_time;
+        self.refresh_outputs();
+    }
+
+    fn set_real(&mut self, vr: VarRef, value: f64) -> Result<(), FmiError> {
+        let idx = vr.0 as usize;
+        match self.vars.get(idx) {
+            None => Err(FmiError::UnknownVariable(vr)),
+            Some(v) if v.causality == Causality::Input => {
+                self.values[idx] = value;
+                Ok(())
+            }
+            Some(_) => Err(FmiError::WrongCausality { vr, expected: Causality::Input }),
+        }
+    }
+
+    fn get_real(&self, vr: VarRef) -> Result<f64, FmiError> {
+        self.values.get(vr.0 as usize).copied().ok_or(FmiError::UnknownVariable(vr))
+    }
+
+    fn do_step(&mut self, current_time: f64, step_size: f64) -> Result<(), FmiError> {
+        if step_size <= 0.0 {
+            return Err(FmiError::InvalidStep(format!("non-positive step {step_size}")));
+        }
+        self.time_s = current_time + step_size;
+        self.refresh_outputs();
+        Ok(())
+    }
+
+    fn reset(&mut self) {
+        self.time_s = 0.0;
+        self.values.iter_mut().for_each(|v| *v = 0.0);
+        self.refresh_outputs();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_trace() -> CoolingTrace {
+        // PUE ramps 1.05 → 1.15 over four 15 s samples.
+        CoolingTrace::new(
+            TimeSeries::from_values(0.0, 15.0, vec![1.05, 1.08, 1.12, 1.15]),
+            TimeSeries::from_values(0.0, 15.0, vec![4.0e5, 4.5e5, 5.0e5, 5.5e5]),
+        )
+    }
+
+    #[test]
+    fn exposes_the_coupling_contract_names() {
+        let m = ReplayCoolingModel::new(ramp_trace(), 25);
+        for i in 1..=25 {
+            assert!(m.var_by_name(&format!("cdu_heat[{i}]")).is_some());
+        }
+        assert!(m.var_by_name("wet_bulb").is_some());
+        assert!(m.var_by_name("it_power").is_some());
+        assert!(m.var_by_name("pue").is_some());
+        assert!(m.var_by_name("cooling_power").is_some());
+    }
+
+    #[test]
+    fn outputs_track_the_trace_over_time() {
+        let mut m = ReplayCoolingModel::new(ramp_trace(), 2);
+        m.setup(0.0);
+        let pue_vr = m.var_by_name("pue").unwrap().vr;
+        assert_eq!(m.get_real(pue_vr).unwrap(), 1.05);
+        m.do_step(0.0, 15.0).unwrap();
+        assert_eq!(m.get_real(pue_vr).unwrap(), 1.08);
+        m.do_step(15.0, 15.0).unwrap();
+        assert_eq!(m.get_real(pue_vr).unwrap(), 1.12);
+        // Beyond the end of the trace the last sample holds.
+        m.do_step(30.0, 3600.0).unwrap();
+        assert_eq!(m.get_real(pue_vr).unwrap(), 1.15);
+    }
+
+    #[test]
+    fn inputs_accepted_but_do_not_change_outputs() {
+        let mut m = ReplayCoolingModel::new(ramp_trace(), 2);
+        m.setup(0.0);
+        m.set_real(VarRef(0), 1.0e6).unwrap();
+        m.set_real(m.var_by_name("wet_bulb").unwrap().vr, 30.0).unwrap();
+        m.do_step(0.0, 15.0).unwrap();
+        let pue = m.get_real(m.var_by_name("pue").unwrap().vr).unwrap();
+        assert_eq!(pue, 1.08, "replay outputs come from the trace alone");
+    }
+
+    #[test]
+    fn auxiliary_channels_served_by_name() {
+        let trace = ramp_trace()
+            .with_channel("cdu[1].primary_return_temp", TimeSeries::from_values(0.0, 15.0, vec![30.0, 31.0]));
+        let mut m = ReplayCoolingModel::new(trace, 1);
+        m.setup(0.0);
+        let vr = m.var_by_name("cdu[1].primary_return_temp").unwrap().vr;
+        assert_eq!(m.get_real(vr).unwrap(), 30.0);
+        m.do_step(0.0, 15.0).unwrap();
+        assert_eq!(m.get_real(vr).unwrap(), 31.0);
+    }
+
+    #[test]
+    fn wrong_causality_and_unknown_vr_rejected() {
+        let mut m = ReplayCoolingModel::new(ramp_trace(), 1);
+        let pue_vr = m.var_by_name("pue").unwrap().vr;
+        assert!(matches!(
+            m.set_real(pue_vr, 1.0),
+            Err(FmiError::WrongCausality { .. })
+        ));
+        assert!(matches!(m.get_real(VarRef(999)), Err(FmiError::UnknownVariable(_))));
+        assert!(m.do_step(0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn constant_trace_holds_forever() {
+        let mut m = ReplayCoolingModel::new(CoolingTrace::constant(1.07, 6.0e5), 3);
+        m.setup(0.0);
+        for k in 0..10 {
+            m.do_step(k as f64 * 900.0, 900.0).unwrap();
+        }
+        assert_eq!(m.get_real(m.var_by_name("pue").unwrap().vr).unwrap(), 1.07);
+        assert_eq!(m.get_real(m.var_by_name("cooling_power").unwrap().vr).unwrap(), 6.0e5);
+    }
+
+    #[test]
+    fn trace_serialises_round_trip() {
+        let trace = ramp_trace().with_channel("x", TimeSeries::from_values(0.0, 1.0, vec![2.0]));
+        let json = serde_json::to_string(&trace).unwrap();
+        let back: CoolingTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn from_telemetry_reconstructs_cooling_power() {
+        use exadigit_raps::job::Job;
+        let twin = crate::generator::SyntheticTwin::frontier();
+        let day = twin.record_span(vec![Job::new(1, "j", 64, 120, 5, 0.5, 0.5)], 120, 0);
+        let trace = CoolingTrace::from_telemetry(&day);
+        assert_eq!(trace.pue, day.cooling.pue);
+        assert_eq!(trace.cooling_power_w.values.len(), trace.pue.values.len());
+        // aux = (PUE − 1) × P_IT must be positive for a loaded plant.
+        assert!(trace.cooling_power_w.values.iter().all(|&w| w >= 0.0));
+        // Per-CDU return temps ride along.
+        assert!(trace.channels.iter().any(|c| c.name == "cdu[1].primary_return_temp"));
+    }
+}

@@ -26,6 +26,8 @@
 //! * [`staging`] — hysteresis staging state machines and the first-order
 //!   delay element the paper uses between the primary and tower loops.
 
+#![warn(missing_docs)]
+
 pub mod coldplate;
 pub mod fluid;
 pub mod hx;

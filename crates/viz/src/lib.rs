@@ -18,6 +18,8 @@
 //! * [`dashboard`] — a panel-based terminal dashboard with a shared live
 //!   value store, standing in for the ReactJS dashboard of §III-B6.
 
+#![warn(missing_docs)]
+
 pub mod chart;
 pub mod dashboard;
 pub mod heatmap;

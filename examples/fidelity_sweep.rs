@@ -1,0 +1,107 @@
+//! Fidelity-selectable cooling backends (docs/FIDELITY.md): run the
+//! same twin at L4/L3/L2 by swapping `TwinConfig`'s `CoolingBackend`,
+//! then show the L3 payoff — the same what-if grid served by the
+//! surrogate at a tiny fraction of the L4 cost.
+//!
+//! ```sh
+//! cargo run --release --example fidelity_sweep
+//! ```
+
+use exadigit_core::surrogate::{generate_training_data, Surrogate};
+use exadigit_core::whatif::{whatif_grid, Fidelity};
+use exadigit_core::{CoolingBackend, DigitalTwin, SurrogateSource, TwinConfig};
+use exadigit_raps::job::Job;
+use exadigit_telemetry::replay::CoolingTrace;
+use std::time::Instant;
+
+fn main() {
+    println!("ExaDigiT-rs fidelity sweep — one FMI boundary, three cooling backends\n");
+
+    // ------------------------------------------------------------------
+    // 1. Backend selection: the same Frontier twin at three fidelities.
+    //    Each backend materialises as a CoSimModel behind the identical
+    //    coupling — the run loop never knows which one is attached.
+    // ------------------------------------------------------------------
+    let job = || vec![Job::new(1, "load", 4096, 1500, 5, 0.8, 0.9)];
+
+    // L4: the comprehensive transient plant (the paper's configuration).
+    let t0 = Instant::now();
+    let mut l4 = DigitalTwin::new(TwinConfig::frontier()).expect("L4 twin");
+    l4.submit(job());
+    l4.run(1800).expect("run");
+    let l4_s = t0.elapsed().as_secs_f64();
+
+    // L3: a surrogate trained from the same plant spec, then served as
+    // a polynomial. Training is a one-off L4 cost; here we use a coarse
+    // envelope so the example stays fast.
+    let t0 = Instant::now();
+    let plant = TwinConfig::frontier().plant;
+    let samples = generate_training_data(&plant, &[0.3, 0.6, 0.9], &[10.0, 14.0, 18.0], 200)
+        .expect("training sweep");
+    let surrogate = Surrogate::fit(&samples).expect("fit");
+    let train_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let cfg = TwinConfig::frontier()
+        .with_backend(CoolingBackend::Surrogate(SurrogateSource::Fitted(surrogate.clone())));
+    let mut l3 = DigitalTwin::new(cfg).expect("L3 twin");
+    l3.submit(job());
+    l3.run(1800).expect("run");
+    let l3_s = t0.elapsed().as_secs_f64();
+
+    // L2: replay a recorded trace (here: the PUE the L4 run just
+    // produced, as a stand-in for real telemetry).
+    let trace = CoolingTrace::new(
+        l4.outputs().pue.clone(),
+        l4.outputs().pue.map(|p| (p - 1.0) * 20.0e6),
+    );
+    let t0 = Instant::now();
+    let mut l2 = DigitalTwin::new(
+        TwinConfig::frontier().with_backend(CoolingBackend::Replay(trace)),
+    )
+    .expect("L2 twin");
+    l2.submit(job());
+    l2.run(1800).expect("run");
+    let l2_s = t0.elapsed().as_secs_f64();
+
+    println!("  backend                      level   avg PUE   wall s");
+    for (name, twin, secs) in [
+        ("Plant (comprehensive)", &l4, l4_s),
+        ("Surrogate (predictive)", &l3, l3_s),
+        ("Replay (informative)", &l2, l2_s),
+    ] {
+        println!(
+            "  {name:<28} {}      {:.4}   {secs:>6.2}",
+            twin.cooling_level().map(|l| l.index()).unwrap_or(0),
+            twin.report().avg_pue.unwrap_or(f64::NAN),
+        );
+    }
+    let extrapolations = l3.cooling_output("surrogate.extrapolation_count").unwrap_or(0.0);
+    println!("  (L3 one-off training: {train_s:.1} s; extrapolated steps: {extrapolations})\n");
+
+    // ------------------------------------------------------------------
+    // 2. The payoff: a what-if grid at L3 vs L4 on a small plant.
+    // ------------------------------------------------------------------
+    let spec = exadigit_cooling::PlantSpec::marconi100_like();
+    let samples = generate_training_data(&spec, &[0.3, 0.6, 0.9], &[10.0, 14.0, 18.0], 400)
+        .expect("training sweep");
+    let small_surrogate = Surrogate::fit(&samples).expect("fit");
+    let loads = [0.35, 0.5, 0.65, 0.8];
+    let wbs = [11.0, 13.0, 15.0, 17.0];
+    let t0 = Instant::now();
+    let g4 = whatif_grid(&spec, &Fidelity::Plant, &loads, &wbs).expect("L4 grid");
+    let g4_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let g3 = whatif_grid(&spec, &Fidelity::Surrogate(small_surrogate), &loads, &wbs)
+        .expect("L3 grid");
+    let g3_s = t0.elapsed().as_secs_f64();
+    let max_err = g3
+        .points
+        .iter()
+        .zip(&g4.points)
+        .map(|(a, b)| (a.pue - b.pue).abs())
+        .fold(0.0f64, f64::max);
+    println!("what-if grid ({} points, Marconi100-like plant):", g3.points.len());
+    println!("  L4 plant     {g4_s:>10.3} s");
+    println!("  L3 surrogate {g3_s:>10.6} s   (x{:.0} faster)", g4_s / g3_s.max(1e-12));
+    println!("  max |dPUE| {max_err:.4}, extrapolated points {}", g3.extrapolations);
+}

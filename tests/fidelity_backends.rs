@@ -1,0 +1,212 @@
+//! Fidelity-backend guarantees.
+//!
+//! 1. **Golden equivalence**: routing the L4 plant through the
+//!    `CoolingBackend` layer must be a pure refactor — bit-identical
+//!    (`f64::to_bits`) to the pre-refactor direct coupling on a pinned
+//!    short Frontier run. The fixture below was captured from the seed
+//!    code path (`with_cooling: true`) immediately before the backend
+//!    layer was introduced; if it ever drifts, the refactor has changed
+//!    the physics, not just the plumbing.
+//! 2. **L3/L4 agreement**: inside the surrogate's training envelope the
+//!    L3 backend must track the L4 plant's PUE; outside it,
+//!    extrapolation must be detected and counted, never fatal.
+
+use exadigit_core::whatif::{whatif_grid, Fidelity};
+use exadigit_core::{CoolingBackend, DigitalTwin, SurrogateSource, TwinConfig};
+use exadigit_raps::job::Job;
+use exadigit_telemetry::replay::CoolingTrace;
+
+/// PUE every 15 s over the golden run, as `f64::to_bits`, captured from
+/// the pre-refactor `with_cooling: true` path.
+const GOLDEN_PUE_BITS: [u64; 40] = [
+    0x3ff069dc11df6015,
+    0x3ff0695b8296fd59,
+    0x3ff068a29587ef06,
+    0x3ff0680dd50063a1,
+    0x3ff06780948417a3,
+    0x3ff0670123d19274,
+    0x3ff06684230babfd,
+    0x3ff0660f54983451,
+    0x3ff065a058e69fc5,
+    0x3ff06537e8a2cf42,
+    0x3ff064d60e27e40f,
+    0x3ff0647acc7123ca,
+    0x3ff06425cb4ed295,
+    0x3ff063d6d0ae2394,
+    0x3ff0638dc185eec7,
+    0x3ff0634a84581b6f,
+    0x3ff0630d01e5d0f5,
+    0x3ff062d514f26408,
+    0x3ff062a28bedb8c7,
+    0x3ff062752cf1c438,
+    0x3ff0624cb24a9282,
+    0x3ff06228d200bb8b,
+    0x3ff0620934527f1b,
+    0x3ff061ed8110ffab,
+    0x3ff061d55bdacbe4,
+    0x3ff061c0676ca5dd,
+    0x3ff061ae45a047b5,
+    0x3ff0619e994848af,
+    0x3ff0619106f82958,
+    0x3ff06185365844cd,
+    0x3ff09701266a1e54,
+    0x3ff0962529e0193a,
+    0x3ff0958152dfe318,
+    0x3ff095149e6341bf,
+    0x3ff094b15be04c75,
+    0x3ff09184d4025c9b,
+    0x3ff090307548dd87,
+    0x3ff0901ebe003967,
+    0x3ff08fc32a85f36f,
+    0x3ff08f78d2eac933,
+];
+
+/// System power every 15 s over the golden run (`f64::to_bits`). The
+/// workload holds one plateau while the job runs, then drops to idle —
+/// the bits must match exactly, including the transition sample.
+const GOLDEN_POWER_BITS: [u64; 2] = [
+    0x416561ed7623a5f5, // loaded plateau (samples 0..30)
+    0x415b9b4dac7f6c1e, // idle tail (samples 30..40)
+];
+
+const GOLDEN_SUPPLY_TEMP_BITS: u64 = 0x403f227af42bf6fa;
+const GOLDEN_COOLING_POWER_BITS: u64 = 0x411a4d23751b3691;
+
+/// The golden run: Frontier L4 twin, one 450 s / 2048-node job, 600 s.
+fn golden_run(cooling: CoolingBackend) -> DigitalTwin {
+    let cfg = TwinConfig::frontier().with_backend(cooling);
+    let mut twin = DigitalTwin::new(cfg).unwrap();
+    twin.submit(vec![Job::new(1, "golden", 2048, 450, 5, 0.7, 0.9)]);
+    twin.run(600).unwrap();
+    twin
+}
+
+#[test]
+fn l4_backend_bit_identical_to_pre_refactor_coupling() {
+    let twin = golden_run(CoolingBackend::Plant);
+    let out = twin.outputs();
+
+    assert_eq!(out.pue.values.len(), GOLDEN_PUE_BITS.len());
+    for (i, (v, pinned)) in out.pue.values.iter().zip(&GOLDEN_PUE_BITS).enumerate() {
+        assert_eq!(
+            v.to_bits(),
+            *pinned,
+            "pue sample {i}: {v} != pinned {}",
+            f64::from_bits(*pinned)
+        );
+    }
+    assert_eq!(out.system_power_w.values.len(), 40);
+    for (i, v) in out.system_power_w.values.iter().enumerate() {
+        let pinned = if i < 30 { GOLDEN_POWER_BITS[0] } else { GOLDEN_POWER_BITS[1] };
+        assert_eq!(v.to_bits(), pinned, "power sample {i}: {v}");
+    }
+    let t = twin.cooling_output("cdu[1].secondary_supply_temp").unwrap();
+    assert_eq!(t.to_bits(), GOLDEN_SUPPLY_TEMP_BITS, "supply temp {t}");
+    let cp = twin.cooling_output("cooling_power").unwrap();
+    assert_eq!(cp.to_bits(), GOLDEN_COOLING_POWER_BITS, "cooling power {cp}");
+}
+
+#[test]
+fn golden_workload_unchanged_without_cooling() {
+    // The power side of the golden run must not depend on the backend at
+    // all (cooling is one-way coupled: heat flows in, nothing back).
+    let twin = golden_run(CoolingBackend::None);
+    for (i, v) in twin.outputs().system_power_w.values.iter().enumerate() {
+        let pinned = if i < 30 { GOLDEN_POWER_BITS[0] } else { GOLDEN_POWER_BITS[1] };
+        assert_eq!(v.to_bits(), pinned, "power sample {i}: {v}");
+    }
+    assert!(twin.cooling_output("pue").is_none());
+}
+
+#[test]
+fn replay_backend_rides_the_same_coupling() {
+    // An L2 trace through the same golden run: power identical, PUE from
+    // the trace instead of the plant.
+    let trace = CoolingTrace::constant(1.08, 4.2e5);
+    let twin = golden_run(CoolingBackend::Replay(trace));
+    for (i, v) in twin.outputs().system_power_w.values.iter().enumerate() {
+        let pinned = if i < 30 { GOLDEN_POWER_BITS[0] } else { GOLDEN_POWER_BITS[1] };
+        assert_eq!(v.to_bits(), pinned, "power sample {i}: {v}");
+    }
+    assert_eq!(twin.cooling_output("pue"), Some(1.08));
+    assert_eq!(twin.report().avg_pue, Some(1.08));
+}
+
+#[test]
+fn l3_tracks_l4_inside_envelope_and_detects_extrapolation_outside() {
+    use exadigit_core::surrogate::{generate_training_data, Surrogate};
+    // Small plant for speed; train with the same settle protocol the L4
+    // grid uses, inside one tower-staging regime (docs/FIDELITY.md).
+    let spec = exadigit_cooling::PlantSpec::marconi100_like();
+    let samples =
+        generate_training_data(&spec, &[0.3, 0.6, 0.9], &[10.0, 14.0, 18.0], 400).unwrap();
+    let sur = Surrogate::fit(&samples).unwrap();
+
+    // Inside the envelope: L3 PUE within 0.01 of the L4 plant.
+    let loads = [0.4, 0.75];
+    let wbs = [11.0, 17.0];
+    let l3 = whatif_grid(&spec, &Fidelity::Surrogate(sur.clone()), &loads, &wbs).unwrap();
+    let l4 = whatif_grid(&spec, &Fidelity::Plant, &loads, &wbs).unwrap();
+    assert_eq!(l3.extrapolations, 0);
+    for (a, b) in l3.points.iter().zip(&l4.points) {
+        assert!(
+            (a.pue - b.pue).abs() < 0.01,
+            "({}, {}): L3 {} vs L4 {}",
+            a.load_fraction,
+            a.wet_bulb_c,
+            a.pue,
+            b.pue
+        );
+    }
+
+    // Outside it: answered, but flagged — never a panic.
+    let outside =
+        whatif_grid(&spec, &Fidelity::Surrogate(sur), &[0.6, 1.3], &[14.0, 30.0]).unwrap();
+    assert_eq!(outside.extrapolations, 3, "three of four points lie outside the envelope");
+    assert!(outside.points.iter().all(|p| p.pue.is_finite()));
+}
+
+#[test]
+fn surrogate_twin_counts_extrapolation_across_the_boundary() {
+    use exadigit_core::surrogate::{Sample, Surrogate};
+    // A surrogate trained only up to 40 % load; the golden workload
+    // pushes past it, so every loaded cooling step is an extrapolation
+    // and the counter must say so through the FMI boundary.
+    let mut samples = Vec::new();
+    for li in 0..4 {
+        for wi in 0..4 {
+            let l = 0.05 + 0.1 * li as f64; // envelope tops out at 0.35
+            let w = 5.0 + 7.0 * wi as f64;
+            samples.push(Sample {
+                load_fraction: l,
+                wet_bulb_c: w,
+                pue: 1.04 + 0.02 * l,
+                cooling_power_w: 3.0e5,
+            });
+        }
+    }
+    let sur = Surrogate::fit(&samples).unwrap();
+    let twin = golden_run(CoolingBackend::Surrogate(SurrogateSource::Fitted(sur)));
+    let count = twin.cooling_output("surrogate.extrapolation_count").unwrap();
+    assert!(count > 0.0, "loaded run outside a 0.35-load envelope must be counted");
+    // And the run still completed with finite outputs.
+    assert!(twin.report().avg_pue.unwrap().is_finite());
+}
+
+#[test]
+fn fitted_surrogate_config_round_trips_as_json() {
+    use exadigit_core::surrogate::{Sample, Surrogate};
+    let samples: Vec<Sample> = (0..9)
+        .map(|i| Sample {
+            load_fraction: 0.2 + 0.08 * i as f64,
+            wet_bulb_c: 6.0 + 2.0 * i as f64,
+            pue: 1.05 + 0.01 * i as f64,
+            cooling_power_w: 1e5 + 1e4 * i as f64,
+        })
+        .collect();
+    let sur = Surrogate::fit(&samples).unwrap();
+    let cfg = TwinConfig::frontier()
+        .with_backend(CoolingBackend::Surrogate(SurrogateSource::Fitted(sur)));
+    let back = TwinConfig::from_json(&cfg.to_json()).unwrap();
+    assert_eq!(cfg, back);
+}
