@@ -1,0 +1,133 @@
+//! Full-day replay throughput — the paper's headline claim, head to head.
+//!
+//! §IV: "Each 24-hour replay takes about nine minutes to run with
+//! cooling, or just three minutes without". This bench replays 24 h
+//! Frontier days through both advancement kernels:
+//!
+//! * `per_second/*` — the literal Algorithm 1 loop (86,400 `TICK`s), the
+//!   executable specification;
+//! * `event_driven/*` — the discrete-event kernel (`run_until`), which
+//!   jumps between job arrivals/completions, 15 s quanta, and record
+//!   boundaries, integrating energy in closed form across the gaps.
+//!
+//! Three no-cooling day profiles span the event-density axis the kernel's
+//! advantage depends on:
+//!
+//! * `hpl_day` — the paper's §IV-B verification workload: one
+//!   full-machine HPL run. Near-zero events; the kernel's home turf.
+//! * `capability_day` — ~100 multi-hour leadership-class jobs.
+//! * `shared_load_day` — 1,700+ short jobs at 0.82 offered load
+//!   (the paper's Fig. 9 day has 1,238). Here both kernels spend most of
+//!   their time on *real* work (job starts/stops force power recomputes
+//!   in both), so the gap narrows to the per-tick overhead — reported
+//!   honestly rather than hidden.
+//!
+//! Acceptance (ISSUE 4): event-driven ≥ 10× on a 24 h no-cooling replay —
+//! measured on `hpl_day` and `capability_day`. The cooling-attached pair
+//! shows the bound moving to the 15 s plant stepping, which both kernels
+//! share. Baseline: `BENCH_day_replay.json`; output equivalence between
+//! the kernels is pinned by the `event_kernel` golden test, so this file
+//! only measures, never validates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use exadigit_cooling::CoolingModel;
+use exadigit_raps::config::SystemConfig;
+use exadigit_raps::job::Job;
+use exadigit_raps::power::PowerDelivery;
+use exadigit_raps::scheduler::Policy;
+use exadigit_raps::simulation::{CoolingCoupling, RapsSimulation};
+use exadigit_raps::workload::{hpl_job, WorkloadGenerator, WorkloadParams};
+use std::hint::black_box;
+use std::time::Duration;
+
+const DAY_S: u64 = 86_400;
+
+fn shared_load_day() -> Vec<Job> {
+    WorkloadGenerator::new(WorkloadParams::default(), 77).generate_day(0)
+}
+
+fn capability_day() -> Vec<Job> {
+    let params = WorkloadParams {
+        tavg_median_s: 1_400.0,
+        runtime_mean_s: 4.0 * 3600.0,
+        runtime_std_s: 1.5 * 3600.0,
+        runtime_range_s: (3600.0, 12.0 * 3600.0),
+        single_node_fraction: 0.05,
+        ..WorkloadParams::default()
+    };
+    WorkloadGenerator::new(params, 77).generate_day(0)
+}
+
+fn hpl_day() -> Vec<Job> {
+    vec![hpl_job(1, 3_600)]
+}
+
+fn day_sim(jobs: Vec<Job>, cooling: bool, record_every_s: u64) -> RapsSimulation {
+    let mut sim = RapsSimulation::new(
+        SystemConfig::frontier(),
+        PowerDelivery::StandardAC,
+        Policy::FirstFit,
+        record_every_s,
+    );
+    if cooling {
+        let coupling =
+            CoolingCoupling::attach(Box::new(CoolingModel::frontier()), 25).unwrap();
+        sim.attach_cooling(coupling);
+    }
+    sim.submit_jobs(jobs);
+    sim
+}
+
+fn bench_day_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("day_replay");
+    group.measurement_time(Duration::from_secs(10)).sample_size(10);
+
+    // Recording stays at the paper's 15 s telemetry quantum throughout.
+    for (name, jobs) in [
+        ("hpl_day", hpl_day()),
+        ("capability_day", capability_day()),
+        ("shared_load_day", shared_load_day()),
+    ] {
+        group.bench_function(format!("event_driven/{name}"), |b| {
+            b.iter_batched(
+                || day_sim(jobs.clone(), false, 15),
+                |mut sim| {
+                    sim.run_until(DAY_S).unwrap();
+                    black_box(sim.report().total_energy_mwh)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        group.bench_function(format!("per_second/{name}"), |b| {
+            b.iter_batched(
+                || day_sim(jobs.clone(), false, 15),
+                |mut sim| {
+                    sim.run_until_per_second(DAY_S).unwrap();
+                    black_box(sim.report().total_energy_mwh)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+
+    // Cooling attached: both kernels step the L4 plant 5,760 times, so
+    // the plant bounds both and the gap collapses to the loop overhead.
+    group.bench_function("event_driven/capability_day_cooling", |b| {
+        b.iter(|| {
+            let mut sim = day_sim(capability_day(), true, 15);
+            sim.run_until(DAY_S).unwrap();
+            black_box(sim.report().avg_pue)
+        })
+    });
+    group.bench_function("per_second/capability_day_cooling", |b| {
+        b.iter(|| {
+            let mut sim = day_sim(capability_day(), true, 15);
+            sim.run_until_per_second(DAY_S).unwrap();
+            black_box(sim.report().avg_pue)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_day_replay);
+criterion_main!(benches);

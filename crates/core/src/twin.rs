@@ -1,11 +1,17 @@
 //! The digital twin façade.
 //!
-//! [`DigitalTwin`] assembles the three modules of Fig. 1: RAPS drives the
-//! 1 s tick loop, the selected cooling backend (L4 plant, L3 surrogate,
-//! or L2 telemetry replay — see [`crate::config::CoolingBackend`] and
-//! `docs/FIDELITY.md`) is attached across the FMI-lite boundary at the
-//! 15 s cadence, and the scene graph provides the L1 representation.
-//! This is the type examples and what-if studies interact with.
+//! [`DigitalTwin`] assembles the three modules of Fig. 1: RAPS advances
+//! 1 s-resolution time through its discrete-event kernel ([`run`] jumps
+//! the clock event-to-event; [`tick`] still single-steps the literal
+//! Algorithm 1 second), the selected cooling backend (L4 plant, L3
+//! surrogate, or L2 telemetry replay — see
+//! [`crate::config::CoolingBackend`] and `docs/FIDELITY.md`) is attached
+//! across the FMI-lite boundary at the 15 s cadence, and the scene graph
+//! provides the L1 representation. This is the type examples and what-if
+//! studies interact with.
+//!
+//! [`run`]: DigitalTwin::run
+//! [`tick`]: DigitalTwin::tick
 
 use crate::config::TwinConfig;
 use crate::levels::TwinLevel;
@@ -62,7 +68,9 @@ impl DigitalTwin {
         self.sim.set_wet_bulb(series);
     }
 
-    /// Advance the twin by `seconds` of simulated time.
+    /// Advance the twin by `seconds` of simulated time through the
+    /// discrete-event kernel (O(events), not O(seconds) — see
+    /// `DESIGN.md` § "Discrete-event kernel").
     pub fn run(&mut self, seconds: u64) -> Result<(), FmiError> {
         let target = self.sim.now() + seconds;
         self.sim.run_until(target)

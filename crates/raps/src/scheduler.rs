@@ -11,7 +11,7 @@
 use crate::config::SystemConfig;
 use crate::job::Job;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::BTreeMap;
 
 /// Scheduling policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -37,10 +37,23 @@ struct PartitionRange {
 }
 
 /// Free-node bookkeeping for every partition.
-#[derive(Debug, Clone)]
+///
+/// Free ids are stored as a canonical interval map (`start → length`;
+/// disjoint, sorted, never adjacent), so allocating or releasing a
+/// 4,000-node job costs O(fragments) tree operations instead of 4,000
+/// per-id set operations — the difference between a day replay spending
+/// its time in the scheduler's bookkeeping and in the simulation itself.
+/// Allocation still hands out the lowest free ids first, in ascending
+/// order, exactly as the per-id implementation did.
+///
+/// Equality compares the full free-list state — what the event-kernel
+/// equivalence tests pin (the canonical form makes set equality and map
+/// equality coincide).
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodePool {
     ranges: Vec<PartitionRange>,
-    free: Vec<BTreeSet<u32>>,
+    free: Vec<BTreeMap<u32, u32>>,
+    free_count: Vec<usize>,
 }
 
 impl NodePool {
@@ -49,14 +62,20 @@ impl NodePool {
     pub fn new(cfg: &SystemConfig) -> Self {
         let mut ranges = Vec::with_capacity(cfg.partitions.len());
         let mut free = Vec::with_capacity(cfg.partitions.len());
+        let mut free_count = Vec::with_capacity(cfg.partitions.len());
         let mut next = 0u32;
         for p in &cfg.partitions {
             let len = p.nodes as u32;
             ranges.push(PartitionRange { start: next, len });
-            free.push((next..next + len).collect());
+            let mut intervals = BTreeMap::new();
+            if len > 0 {
+                intervals.insert(next, len);
+            }
+            free.push(intervals);
+            free_count.push(p.nodes);
             next += len;
         }
-        NodePool { ranges, free }
+        NodePool { ranges, free, free_count }
     }
 
     /// Number of partitions.
@@ -71,43 +90,108 @@ impl NodePool {
 
     /// Free nodes in a partition.
     pub fn available(&self, partition: usize) -> usize {
-        self.free[partition].len()
+        self.free_count[partition]
     }
 
     /// Total free nodes across partitions.
     pub fn available_total(&self) -> usize {
-        self.free.iter().map(|f| f.len()).sum()
+        self.free_count.iter().sum()
     }
 
-    /// Allocate `n` nodes from a partition (lowest ids first). Returns
-    /// `None` without side effects when not enough nodes are free.
+    /// Allocate `n` nodes from a partition (lowest ids first, ascending).
+    /// Returns `None` without side effects when not enough nodes are free.
     pub fn allocate(&mut self, partition: usize, n: usize) -> Option<Vec<u32>> {
-        let free = &mut self.free[partition];
-        if free.len() < n {
+        if self.free_count[partition] < n {
             return None;
         }
+        let free = &mut self.free[partition];
         let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            // BTreeSet keeps ascending order; pop the smallest.
-            let id = *free.iter().next().expect("checked length");
-            free.remove(&id);
-            out.push(id);
+        let mut remaining = n as u32;
+        while remaining > 0 {
+            let (start, len) = free.pop_first().expect("count said enough nodes are free");
+            let take = len.min(remaining);
+            out.extend(start..start + take);
+            if take < len {
+                free.insert(start + take, len - take);
+            }
+            remaining -= take;
         }
+        self.free_count[partition] -= n;
         Some(out)
+    }
+
+    /// Free node ids of a partition in ascending order (diagnostics and
+    /// equivalence tests).
+    pub fn free_nodes(&self, partition: usize) -> Vec<u32> {
+        self.free[partition]
+            .iter()
+            .flat_map(|(&start, &len)| start..start + len)
+            .collect()
     }
 
     /// Release nodes back to their partition. Panics on double-free (a
     /// scheduler invariant violation we want loudly).
     pub fn release(&mut self, partition: usize, nodes: &[u32]) {
+        if nodes.is_empty() {
+            return;
+        }
         let range = self.ranges[partition];
         for &id in nodes {
             assert!(
                 id >= range.start && id < range.start + range.len,
                 "node {id} not in partition {partition}"
             );
-            let inserted = self.free[partition].insert(id);
-            assert!(inserted, "double release of node {id}");
         }
+        // Job allocations come back in ascending order; sorting here is
+        // near-free for that case and keeps arbitrary-order calls legal.
+        let mut ids = nodes.to_vec();
+        ids.sort_unstable();
+        let mut i = 0;
+        while i < ids.len() {
+            let run_start = ids[i];
+            let mut run_end = run_start; // inclusive
+            i += 1;
+            while i < ids.len() && ids[i] == run_end + 1 {
+                run_end = ids[i];
+                i += 1;
+            }
+            assert!(
+                i >= ids.len() || ids[i] > run_end,
+                "double release of node {}",
+                ids[i]
+            );
+            self.insert_free_run(partition, run_start, run_end);
+        }
+        self.free_count[partition] += ids.len();
+    }
+
+    /// Insert the inclusive run `[run_start, run_end]` into a partition's
+    /// free intervals, merging with adjacent intervals to keep the map
+    /// canonical. Panics if any id in the run is already free.
+    fn insert_free_run(&mut self, partition: usize, mut run_start: u32, run_end: u32) {
+        let free = &mut self.free[partition];
+        let mut run_len = run_end - run_start + 1;
+        // Predecessor interval: must not overlap; merge when adjacent.
+        if let Some((&prev_start, &prev_len)) = free.range(..=run_start).next_back() {
+            assert!(
+                prev_start + prev_len <= run_start,
+                "double release of node {run_start}"
+            );
+            if prev_start + prev_len == run_start {
+                free.remove(&prev_start);
+                run_start = prev_start;
+                run_len += prev_len;
+            }
+        }
+        // Successor interval: must start past the run; merge when adjacent.
+        if let Some((&next_start, &next_len)) = free.range(run_start..).next() {
+            assert!(next_start > run_end, "double release of node {next_start}");
+            if next_start == run_end + 1 {
+                free.remove(&next_start);
+                run_len += next_len;
+            }
+        }
+        free.insert(run_start, run_len);
     }
 }
 
@@ -301,6 +385,50 @@ mod tests {
         let a = pool.allocate(0, 2).unwrap();
         pool.release(0, &a);
         pool.release(0, &a);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn pool_panics_on_duplicate_within_release() {
+        let cfg = small_config(8);
+        let mut pool = NodePool::new(&cfg);
+        let _a = pool.allocate(0, 4).unwrap();
+        pool.release(0, &[1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn pool_panics_when_run_overlaps_free_interval() {
+        let cfg = small_config(8);
+        let mut pool = NodePool::new(&cfg);
+        let _a = pool.allocate(0, 3).unwrap(); // 0,1,2 busy; 3..8 free
+        pool.release(0, &[2, 3]); // 3 is already free
+    }
+
+    #[test]
+    fn pool_allocates_across_fragments_and_remerges() {
+        let cfg = small_config(16);
+        let mut pool = NodePool::new(&cfg);
+        let a = pool.allocate(0, 4).unwrap(); // 0..4
+        let b = pool.allocate(0, 4).unwrap(); // 4..8
+        let c = pool.allocate(0, 4).unwrap(); // 8..12
+        // Free the outer two: free set {0..4, 8..12, 12..16}, merged to
+        // {0..4, 8..16} — releases must coalesce adjacent intervals.
+        pool.release(0, &a);
+        pool.release(0, &c);
+        assert_eq!(pool.available(0), 12);
+        // A 10-node allocation spans both fragments, lowest ids first.
+        let d = pool.allocate(0, 10).unwrap();
+        assert_eq!(d, vec![0, 1, 2, 3, 8, 9, 10, 11, 12, 13]);
+        assert_eq!(pool.free_nodes(0), vec![14, 15]);
+        // Out-of-order release still canonicalises: everything merges
+        // back into one interval equal to a fresh pool's.
+        pool.release(0, &b);
+        let mut shuffled = d.clone();
+        shuffled.reverse();
+        pool.release(0, &shuffled);
+        assert_eq!(pool, NodePool::new(&cfg));
+        assert_eq!(pool.free_nodes(0).len(), 16);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use exadigit_raps::config::{PartitionConfig, SystemConfig};
 use exadigit_raps::job::{Job, UtilTrace};
 use exadigit_raps::power::{PowerDelivery, PowerModel};
 use exadigit_raps::scheduler::{schedule_jobs, NodePool, Policy, RunningRelease};
+use exadigit_raps::simulation::RapsSimulation;
 use exadigit_raps::workload::{WorkloadGenerator, WorkloadParams};
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -170,6 +171,67 @@ proptest! {
         let u = trace.at(t);
         prop_assert!((0.0..=1.0).contains(&u));
         prop_assert!((0.0..=1.0).contains(&trace.mean()));
+    }
+
+    /// Event-driven and per-second stepping are the *same simulation*:
+    /// identical completed-job counts, wait statistics, and final
+    /// node-pool state on randomized workloads across all four scheduler
+    /// policies. Wall times start at zero to cover the degenerate
+    /// completes-one-second-after-start case.
+    #[test]
+    fn event_kernel_equivalent_to_per_second_stepping(
+        specs in prop::collection::vec(
+            (1usize..=96, 0u64..2_000, 0u64..900, 0.0f32..1.0, 0.0f32..1.0),
+            1..24,
+        ),
+        policy_idx in 0usize..4,
+        record_every in 15u64..120,
+    ) {
+        let policy = [Policy::Fcfs, Policy::Sjf, Policy::FirstFit, Policy::EasyBackfill][policy_idx];
+        let jobs: Vec<Job> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (nodes, wall, submit, cu, gu))| {
+                Job::new(i as u64, format!("j{i}"), nodes, wall, submit, cu, gu)
+            })
+            .collect();
+        let run = |event_driven: bool| {
+            let mut sim = RapsSimulation::new(
+                small_config(128),
+                PowerDelivery::StandardAC,
+                policy,
+                record_every,
+            );
+            sim.submit_jobs(jobs.clone());
+            if event_driven {
+                sim.run_until(2_400).unwrap();
+            } else {
+                sim.run_until_per_second(2_400).unwrap();
+            }
+            sim
+        };
+        let ps = run(false);
+        let ev = run(true);
+        let (rp, re) = (ps.report(), ev.report());
+        prop_assert_eq!(re.jobs_completed, rp.jobs_completed);
+        prop_assert_eq!(re.jobs_unfinished, rp.jobs_unfinished);
+        prop_assert_eq!(ev.running_count(), ps.running_count());
+        prop_assert_eq!(ev.pending_count(), ps.pending_count());
+        // Wait statistics are pushed at the same event seconds with the
+        // same values in the same order: exact equality, not tolerance.
+        let (we, wp) = (&ev.outputs().wait_stats, &ps.outputs().wait_stats);
+        prop_assert_eq!(we.count(), wp.count());
+        prop_assert_eq!(we.mean().to_bits(), wp.mean().to_bits());
+        prop_assert_eq!(we.max().to_bits(), wp.max().to_bits());
+        // Final free-list state of the node pool.
+        prop_assert_eq!(ev.pool(), ps.pool());
+        prop_assert_eq!(ev.pool().free_nodes(0), ps.pool().free_nodes(0));
+        // Recorded series ride along bit-identically.
+        let (se, sp) = (&ev.outputs().utilization.values, &ps.outputs().utilization.values);
+        prop_assert_eq!(se.len(), sp.len());
+        for (a, b) in se.iter().zip(sp) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     /// The workload generator emits valid jobs for arbitrary (sane)

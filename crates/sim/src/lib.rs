@@ -10,6 +10,11 @@
 //!   (xoshiro256\*\* seeded via splitmix64) plus the distributions the paper
 //!   uses: the exponential inter-arrival law of eq. (5), normal / lognormal
 //!   laws for workload synthesis, and uniform helpers.
+//! * [`events`] — the discrete-event calendar: typed events (job arrival,
+//!   job completion, cooling/trace quantum, record boundary, wet-bulb
+//!   breakpoint) over the integral-second clock, with deterministic
+//!   same-second ordering. This is what lets the RAPS kernel jump the
+//!   clock straight to the next event instead of walking every second.
 //! * [`series`] — fixed-step time series with resampling, used for both model
 //!   outputs and synthetic telemetry.
 //! * [`stats`] — online summary statistics (Welford), RMSE/MAE validation
@@ -36,6 +41,7 @@
 
 pub mod clock;
 pub mod ensemble;
+pub mod events;
 pub mod fmi;
 pub mod master;
 pub mod rng;
@@ -44,6 +50,7 @@ pub mod stats;
 
 pub use clock::SimClock;
 pub use ensemble::{EnsembleRunner, Scenario, ScenarioCtx};
+pub use events::{Event, EventKind, EventQueue};
 pub use fmi::{Causality, CoSimModel, FmiError, VarRef, VariableDescriptor, VariableRegistry};
 pub use rng::Rng;
 pub use series::TimeSeries;

@@ -109,6 +109,21 @@ impl Welford {
         self.max = self.max.max(x);
     }
 
+    /// Absorb `n` identical observations in O(1) — the Chan et al. merge
+    /// of a degenerate accumulator `{n, mean: x, m2: 0}`. This is what
+    /// lets the event-driven simulation kernel account a constant-power
+    /// gap of thousands of seconds in one update instead of one push per
+    /// simulated second (mathematically exact: the mean/variance of `n`
+    /// copies of `x` have closed forms; only float rounding differs from
+    /// `n` sequential pushes).
+    #[inline]
+    pub fn push_n(&mut self, x: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.merge(&Welford { n, mean: x, m2: 0.0, min: x, max: x });
+    }
+
     /// Merge another accumulator (parallel reduction; Chan et al. update).
     pub fn merge(&mut self, other: &Welford) {
         if other.n == 0 {
@@ -338,6 +353,31 @@ mod tests {
         assert_eq!(wa.count(), all.count());
         assert_eq!(wa.min(), all.min());
         assert_eq!(wa.max(), all.max());
+    }
+
+    #[test]
+    fn push_n_matches_sequential_pushes() {
+        let mut seq = Welford::new();
+        let mut fast = Welford::new();
+        seq.push(3.0);
+        fast.push(3.0);
+        for _ in 0..1000 {
+            seq.push(7.25);
+        }
+        fast.push_n(7.25, 1000);
+        for _ in 0..99 {
+            seq.push(-2.5);
+        }
+        fast.push_n(-2.5, 99);
+        assert_eq!(fast.count(), seq.count());
+        assert_eq!(fast.min(), seq.min());
+        assert_eq!(fast.max(), seq.max());
+        assert!((fast.mean() - seq.mean()).abs() < 1e-12 * seq.mean().abs());
+        assert!((fast.std() - seq.std()).abs() < 1e-9);
+        // Zero-weight push is a no-op.
+        let before = fast;
+        fast.push_n(999.0, 0);
+        assert_eq!(fast, before);
     }
 
     #[test]

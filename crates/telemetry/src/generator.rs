@@ -235,6 +235,9 @@ impl SyntheticTwin {
         let vr_flow = model.var_by_name("facility.htw_flow").unwrap().vr;
         let vr_pue = model.var_by_name("pue").unwrap().vr;
 
+        // This loop deliberately uses the per-second reference path, not
+        // the event kernel: the physical twin samples *noisy* 1 s power,
+        // so every second genuinely is an event here.
         for sec in 0..span_s {
             sim.tick().expect("twin run cannot fail");
             // 1 s measured power with sensor noise.

@@ -96,6 +96,12 @@ impl CoolingTrace {
 /// The L2 cooling backend: a [`CoSimModel`] that plays back a
 /// [`CoolingTrace`] instead of simulating a plant.
 ///
+/// Trace-quantum alignment holds under both advancement kernels: the
+/// event-driven `run_until` treats every 15 s trace quantum as an
+/// event, so `do_step` sees exactly the same `(current_time, 15 s)`
+/// sequence as the per-second loop and the replayed outputs are
+/// bit-identical (pinned by the `event_kernel` integration test).
+///
 /// The registry exposes `num_cdus` heat inputs plus `wet_bulb` and
 /// `it_power` (so [`CoolingCoupling::attach`] resolves the same names it
 /// would against the L4 plant), the `pue` and `cooling_power` outputs

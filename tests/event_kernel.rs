@@ -1,0 +1,227 @@
+//! Golden equivalence guard for the discrete-event kernel.
+//!
+//! `RapsSimulation::run_until` jumps the clock from event to event;
+//! `RapsSimulation::run_until_per_second` walks every second (Algorithm 1
+//! verbatim). The two must agree *exactly* where the paper's outputs live:
+//! every recorded series sample bit-identical (`f64::to_bits`), cooling
+//! steps at the same quanta with the same inputs, identical completions,
+//! waits, and node-pool state. Total energy differs only by float
+//! reassociation (closed-form `n × P` vs `n` sequential adds), bounded at
+//! 1e-9 relative.
+//!
+//! The pinned run is the ISSUE's acceptance scenario: 600 s on Frontier
+//! with the L4 cooling plant attached, a varying wet-bulb forcing, and a
+//! workload that exercises arrivals, queueing, starts, and completions.
+
+use exadigit_cooling::CoolingModel;
+use exadigit_raps::config::SystemConfig;
+use exadigit_raps::job::Job;
+use exadigit_raps::power::PowerDelivery;
+use exadigit_raps::scheduler::Policy;
+use exadigit_raps::simulation::{CoolingCoupling, RapsSimulation};
+use exadigit_raps::workload::{WorkloadGenerator, WorkloadParams};
+use exadigit_sim::TimeSeries;
+
+const HORIZON_S: u64 = 600;
+
+/// The pinned 600 s cooled Frontier scenario.
+fn cooled_sim() -> RapsSimulation {
+    let mut sim = RapsSimulation::new(
+        SystemConfig::frontier(),
+        PowerDelivery::StandardAC,
+        Policy::FirstFit,
+        15,
+    );
+    let coupling = CoolingCoupling::attach(Box::new(CoolingModel::frontier()), 25).unwrap();
+    sim.attach_cooling(coupling);
+    // A moving wet-bulb so forcing breakpoints are live events.
+    sim.set_wet_bulb(TimeSeries::from_values(
+        0.0,
+        120.0,
+        vec![12.0, 14.5, 13.0, 16.0, 15.0, 17.5],
+    ));
+    sim.submit_jobs(golden_jobs());
+    sim
+}
+
+/// Arrivals, a queue, starts, and in-horizon completions: one big early
+/// job, staggered mid-run arrivals, a job completing inside the horizon,
+/// and a tail job that is still running at the horizon.
+fn golden_jobs() -> Vec<Job> {
+    let mut jobs = vec![
+        Job::new(1, "big", 2048, 450, 5, 0.7, 0.9),
+        Job::new(2, "short", 256, 120, 30, 0.5, 0.4),
+        Job::new(3, "tail", 512, 10_000, 200, 0.9, 0.8),
+    ];
+    let mut generator = WorkloadGenerator::new(WorkloadParams::default(), 424242);
+    jobs.extend(
+        generator
+            .generate_day(0)
+            .into_iter()
+            .filter(|j| j.submit_time_s < 500)
+            .take(20),
+    );
+    jobs
+}
+
+fn assert_series_bits_equal(name: &str, a: &TimeSeries, b: &TimeSeries) {
+    assert_eq!(a.values.len(), b.values.len(), "{name}: length mismatch");
+    for (i, (x, y)) in a.values.iter().zip(&b.values).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{name} sample {i}: event-driven {x} vs per-second {y}"
+        );
+    }
+}
+
+#[test]
+fn event_kernel_matches_per_second_loop_on_cooled_frontier_run() {
+    let mut per_second = cooled_sim();
+    per_second.run_until_per_second(HORIZON_S).unwrap();
+    let mut event_driven = cooled_sim();
+    event_driven.run_until(HORIZON_S).unwrap();
+
+    assert_eq!(event_driven.now(), per_second.now());
+
+    // Recorded series bit-identical at every record boundary.
+    let (ev, ps) = (event_driven.outputs(), per_second.outputs());
+    assert_series_bits_equal("system_power_w", &ev.system_power_w, &ps.system_power_w);
+    assert_series_bits_equal("loss_w", &ev.loss_w, &ps.loss_w);
+    assert_series_bits_equal("utilization", &ev.utilization, &ps.utilization);
+    assert_series_bits_equal("efficiency", &ev.efficiency, &ps.efficiency);
+    assert_series_bits_equal("pue", &ev.pue, &ps.pue);
+    assert!(!ev.pue.is_empty(), "cooling must actually have stepped");
+
+    // The live snapshot and the stateful cooling plant saw identical
+    // inputs at identical times, so their outputs carry identical bits.
+    assert_eq!(
+        event_driven.snapshot().system_w.to_bits(),
+        per_second.snapshot().system_w.to_bits()
+    );
+    let supply = |sim: &RapsSimulation| {
+        let model = sim.cooling_model().unwrap();
+        model.get_real(model.var_by_name("cdu[1].secondary_supply_temp").unwrap().vr).unwrap()
+    };
+    assert_eq!(supply(&event_driven).to_bits(), supply(&per_second).to_bits());
+
+    // Total energy: closed-form integration within 1e-9 relative.
+    let (e_ev, e_ps) = (ev.energy_j, ps.energy_j);
+    assert!(e_ps > 0.0);
+    assert!(
+        ((e_ev - e_ps) / e_ps).abs() < 1e-9,
+        "energy drift: event-driven {e_ev} vs per-second {e_ps}"
+    );
+
+    // Discrete state: completions, queue, waits, and the node pool.
+    let (r_ev, r_ps) = (event_driven.report(), per_second.report());
+    assert_eq!(r_ev.jobs_completed, r_ps.jobs_completed);
+    assert!(r_ps.jobs_completed >= 2, "scenario must complete jobs in-horizon");
+    assert_eq!(r_ev.jobs_unfinished, r_ps.jobs_unfinished);
+    assert_eq!(event_driven.running_count(), per_second.running_count());
+    assert_eq!(event_driven.pending_count(), per_second.pending_count());
+    assert_eq!(ev.wait_stats.count(), ps.wait_stats.count());
+    assert_eq!(ev.wait_stats.mean().to_bits(), ps.wait_stats.mean().to_bits());
+    assert_eq!(event_driven.pool(), per_second.pool());
+
+    // Per-second summary statistics agree to weighted-update rounding.
+    assert_eq!(ev.power_stats.count(), ps.power_stats.count());
+    assert!((r_ev.avg_power_mw - r_ps.avg_power_mw).abs() / r_ps.avg_power_mw < 1e-9);
+    assert_eq!(r_ev.max_power_mw.to_bits(), r_ps.max_power_mw.to_bits());
+    assert_eq!(r_ev.avg_pue, r_ps.avg_pue, "pue stats are event-aligned, hence exact");
+}
+
+#[test]
+fn event_kernel_matches_per_second_loop_without_cooling() {
+    // The no-cooling path additionally exercises the skipped-quantum
+    // optimization (no cooling step forces nothing at the quantum).
+    let run = |event_driven: bool| {
+        let mut sim = RapsSimulation::new(
+            SystemConfig::frontier(),
+            PowerDelivery::StandardAC,
+            Policy::EasyBackfill,
+            60,
+        );
+        sim.submit_jobs(golden_jobs());
+        if event_driven {
+            sim.run_until(HORIZON_S).unwrap();
+        } else {
+            sim.run_until_per_second(HORIZON_S).unwrap();
+        }
+        sim
+    };
+    let ps = run(false);
+    let ev = run(true);
+    assert_series_bits_equal(
+        "system_power_w",
+        &ev.outputs().system_power_w,
+        &ps.outputs().system_power_w,
+    );
+    assert_series_bits_equal("utilization", &ev.outputs().utilization, &ps.outputs().utilization);
+    assert_eq!(ev.report().jobs_completed, ps.report().jobs_completed);
+    assert_eq!(ev.pool(), ps.pool());
+    let (e_ev, e_ps) = (ev.outputs().energy_j, ps.outputs().energy_j);
+    assert!(((e_ev - e_ps) / e_ps).abs() < 1e-9);
+}
+
+#[test]
+fn replay_backend_stays_trace_quantum_aligned() {
+    // L2 telemetry replay: the trace is sampled at do_step time, so the
+    // event kernel must present exactly the per-second loop's
+    // (current_time, 15 s) step sequence — a ramping trace makes any
+    // misalignment visible in the recorded PUE series.
+    use exadigit_telemetry::replay::{CoolingTrace, ReplayCoolingModel};
+    let run = |event_driven: bool| {
+        let mut sim = RapsSimulation::new(
+            SystemConfig::frontier(),
+            PowerDelivery::StandardAC,
+            Policy::FirstFit,
+            15,
+        );
+        let ramp: Vec<f64> = (0..40).map(|i| 1.05 + 0.002 * i as f64).collect();
+        let trace = CoolingTrace::new(
+            TimeSeries::from_values(0.0, 15.0, ramp),
+            TimeSeries::from_values(0.0, 15.0, vec![4.0e5; 40]),
+        );
+        let coupling =
+            CoolingCoupling::attach(Box::new(ReplayCoolingModel::new(trace, 25)), 25).unwrap();
+        sim.attach_cooling(coupling);
+        sim.submit_jobs(golden_jobs());
+        if event_driven {
+            sim.run_until(HORIZON_S).unwrap();
+        } else {
+            sim.run_until_per_second(HORIZON_S).unwrap();
+        }
+        sim
+    };
+    let ps = run(false);
+    let ev = run(true);
+    assert_eq!(ev.outputs().pue.values.len(), HORIZON_S as usize / 15);
+    assert_series_bits_equal("pue", &ev.outputs().pue, &ps.outputs().pue);
+    // The ramp means consecutive samples differ — alignment is load-bearing.
+    assert!(ev.outputs().pue.values[1] > ev.outputs().pue.values[0]);
+}
+
+#[test]
+fn interleaved_horizons_and_modes_stay_consistent() {
+    // run_until must be resumable in pieces and mixable with tick():
+    // tick() keeps the event calendar consistent (completion events are
+    // scheduled at job start in both modes).
+    let mut reference = cooled_sim();
+    reference.run_until_per_second(HORIZON_S).unwrap();
+
+    let mut mixed = cooled_sim();
+    mixed.run_until(100).unwrap();
+    for _ in 0..50 {
+        mixed.tick().unwrap();
+    }
+    mixed.run_until(480).unwrap();
+    mixed.run_until(HORIZON_S).unwrap();
+
+    assert_eq!(mixed.now(), reference.now());
+    let (a, b) = (mixed.outputs(), reference.outputs());
+    assert_series_bits_equal("system_power_w", &a.system_power_w, &b.system_power_w);
+    assert_series_bits_equal("pue", &a.pue, &b.pue);
+    assert_eq!(mixed.report().jobs_completed, reference.report().jobs_completed);
+    assert_eq!(mixed.pool(), reference.pool());
+}
