@@ -1,0 +1,100 @@
+//! Service-layer throughput: what snapshot/fork buys a what-if query.
+//!
+//! The twin-as-a-service acceptance criterion (`docs/SERVICE.md`): a
+//! what-if branched from a mid-day snapshot must be **≥ 5× faster** than
+//! answering the same question by cold-start replay, because the fork
+//! costs O(horizon) while the replay costs O(elapsed + horizon). The
+//! ratio grows with how far into the day the snapshot sits — this bench
+//! pins it at noon of a shared-load Frontier day with a one-hour
+//! horizon.
+//!
+//! Also measured: the snapshot itself (a state clone — the constant the
+//! service pays per checkpoint), a cache hit (the floor for repeated
+//! questions), and a 16-draw UQ ensemble answered entirely from one
+//! snapshot. Baseline: `BENCH_service_throughput.json`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use exadigit_core::config::TwinConfig;
+use exadigit_core::twin::DigitalTwin;
+use exadigit_raps::workload::{WorkloadGenerator, WorkloadParams};
+use exadigit_service::{
+    run_whatif, scenario_fingerprint, QueryCache, SnapshotStore, WhatIfSpec,
+};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Fork point: noon of the simulated day.
+const NOON_S: u64 = 43_200;
+/// Query horizon past the fork point.
+const HORIZON_S: u64 = 3_600;
+
+fn day_twin() -> DigitalTwin {
+    let mut twin =
+        DigitalTwin::new(TwinConfig::frontier_power_only()).expect("config valid");
+    let mut gen = WorkloadGenerator::new(WorkloadParams::default(), 77);
+    twin.submit(gen.generate_day(0));
+    twin
+}
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput");
+    group.measurement_time(Duration::from_secs(10)).sample_size(10);
+
+    // Shared setup: the live twin at noon, frozen into a snapshot.
+    let mut live = day_twin();
+    live.run(NOON_S).expect("advance to noon");
+    let mut store = SnapshotStore::new(4, 42);
+    let snapshot = store.take(&live, "noon".into()).expect("snapshot");
+    let spec = WhatIfSpec { horizon_s: HORIZON_S, ..WhatIfSpec::default() };
+
+    // The headline pair: fork-from-snapshot vs cold-start replay to the
+    // same absolute horizon (what a batch-only twin pays per question).
+    group.bench_function("fork_whatif_1h", |b| {
+        b.iter(|| black_box(run_whatif(&snapshot, &spec, Some(1)).expect("query")))
+    });
+    group.bench_function("cold_start_whatif_1h", |b| {
+        b.iter_batched(
+            day_twin,
+            |mut twin| {
+                twin.run(NOON_S + HORIZON_S).expect("cold replay");
+                black_box(twin.report().total_energy_mwh)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    // The checkpoint constant: freezing the noon state.
+    group.bench_function("snapshot_take", |b| {
+        b.iter_batched(
+            || SnapshotStore::new(1024, 42),
+            |mut store| black_box(store.take(&live, "noon".into()).expect("snapshot").id),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // The repeat-question floor: fingerprint + hash lookup.
+    let mut cache = QueryCache::new(64);
+    let fp = scenario_fingerprint(&spec);
+    cache.insert(snapshot.id, fp, run_whatif(&snapshot, &spec, Some(1)).expect("warm"));
+    group.bench_function("cached_answer", |b| {
+        b.iter(|| {
+            black_box(
+                cache
+                    .get(snapshot.id, scenario_fingerprint(&spec))
+                    .expect("warm cache")
+                    .avg_power_mw,
+            )
+        })
+    });
+
+    // Ensemble from one snapshot: 16 UQ draws, each a fork.
+    let uq = WhatIfSpec { horizon_s: HORIZON_S, draws: 16, ..WhatIfSpec::default() };
+    group.bench_function("uq16_from_snapshot", |b| {
+        b.iter(|| black_box(run_whatif(&snapshot, &uq, Some(1)).expect("uq").power_std_mw))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

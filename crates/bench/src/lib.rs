@@ -13,6 +13,8 @@
 //! | `fig9_telemetry_replay` | Fig. 9 |
 //! | `whatif_studies` | §IV-3 what-if results |
 
+#![warn(missing_docs)]
+
 /// Print a boxed section title.
 pub fn section(title: &str) {
     let width = title.chars().count() + 4;

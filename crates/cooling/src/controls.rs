@@ -45,6 +45,7 @@ pub struct ControlCommands {
 }
 
 /// The assembled controllers and staging state machines.
+#[derive(Clone)]
 pub struct PlantControls {
     cdu_valve_pids: Vec<Pid>,
     cdu_pump_pids: Vec<Pid>,

@@ -16,6 +16,7 @@ use crate::spec::PlantSpec;
 use exadigit_sim::fmi::{Causality, CoSimModel, FmiError, VarRef, VariableDescriptor, VariableRegistry};
 
 /// The cooling model: plant + controls + variable registry.
+#[derive(Clone)]
 pub struct CoolingModel {
     plant: Plant,
     controls: PlantControls,
@@ -324,6 +325,10 @@ impl CoSimModel for CoolingModel {
         self.cdu_heat_w.iter_mut().for_each(|v| *v = 0.0);
         self.it_power_w = 0.0;
         self.steps = 0;
+    }
+
+    fn fork(&self) -> Option<Box<dyn CoSimModel>> {
+        Some(Box::new(self.clone()))
     }
 }
 

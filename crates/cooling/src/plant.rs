@@ -107,6 +107,7 @@ pub struct PlantState {
 }
 
 /// The plant: hydraulics + thermal state + component models.
+#[derive(Clone)]
 pub struct Plant {
     /// The generating specification.
     pub spec: PlantSpec,

@@ -146,6 +146,17 @@ impl TwinConfig {
         self
     }
 
+    /// Set the output recording cadence (builder style). 15 s matches
+    /// the paper's telemetry quantum; raise it for multi-week studies —
+    /// with 15 s recording the event kernel's structural speedup ceiling
+    /// is ~15× because the 5,760 daily record boundaries are irreducible
+    /// events (see `DESIGN.md` § "Discrete-event kernel"). Validated by
+    /// [`TwinConfig::validate`]: must be positive and at most 7 days.
+    pub fn with_record_every_s(mut self, record_every_s: u64) -> Self {
+        self.record_every_s = record_every_s;
+        self
+    }
+
     /// A Setonix-like multi-partition twin (§V).
     pub fn setonix_like() -> Self {
         TwinConfig {
@@ -195,6 +206,15 @@ impl TwinConfig {
         }
         if self.record_every_s == 0 {
             return Err("record_every_s must be positive".into());
+        }
+        // Catch unit mistakes (milliseconds, epoch stamps): one sample a
+        // week is already coarser than any supported study.
+        const MAX_RECORD_EVERY_S: u64 = 7 * 86_400;
+        if self.record_every_s > MAX_RECORD_EVERY_S {
+            return Err(format!(
+                "record_every_s = {} exceeds 7 days ({MAX_RECORD_EVERY_S} s) — wrong unit?",
+                self.record_every_s
+            ));
         }
         Ok(())
     }
@@ -275,5 +295,30 @@ mod tests {
         let mut cfg = TwinConfig::frontier();
         cfg.record_every_s = 0;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn record_cadence_builder_validates_bounds() {
+        // Hourly recording for multi-week studies is the documented way
+        // past the ~15× event-kernel ceiling.
+        let cfg = TwinConfig::frontier().with_record_every_s(3_600);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.record_every_s, 3_600);
+        // Off-grid cadences (not multiples of the 15 s quantum) are
+        // valid — the kernel schedules a separate recurrence for them.
+        TwinConfig::frontier().with_record_every_s(7).validate().unwrap();
+        // Unit mistakes are caught.
+        let err = TwinConfig::frontier().with_record_every_s(8 * 86_400).validate();
+        assert!(err.is_err());
+        assert!(TwinConfig::frontier().with_record_every_s(0).validate().is_err());
+    }
+
+    #[test]
+    fn off_grid_record_cadence_runs_and_records() {
+        let cfg = TwinConfig::frontier_power_only().with_record_every_s(60);
+        let mut twin = crate::twin::DigitalTwin::new(cfg).unwrap();
+        twin.run(600).unwrap();
+        // 60 s cadence over 600 s: 10 samples.
+        assert_eq!(twin.outputs().system_power_w.len(), 10);
     }
 }

@@ -125,6 +125,21 @@ impl DigitalTwin {
         SceneGraph::frontier()
     }
 
+    /// Fork the twin mid-run: a full, independent copy of the simulation
+    /// state (clock, queues, event calendar, outputs, cooling-model
+    /// internals) that can be advanced without disturbing the original.
+    ///
+    /// This is the what-if primitive of the service layer
+    /// (`docs/SERVICE.md`): a query branched from a snapshot at time `t`
+    /// costs O(horizon) instead of O(t + horizon), and
+    /// `fork().run(h)` is bit-identical to running the original `h`
+    /// seconds (the `service_fork` golden + property tests). Fails only
+    /// for a cooling backend whose model cannot capture its state — all
+    /// built-in backends can.
+    pub fn fork(&self) -> Result<DigitalTwin, String> {
+        Ok(DigitalTwin { config: self.config.clone(), sim: self.sim.fork()? })
+    }
+
     /// Mutable access to the underlying RAPS simulation (advanced use).
     pub fn raps_mut(&mut self) -> &mut RapsSimulation {
         &mut self.sim
@@ -221,6 +236,67 @@ mod tests {
         // The counted-warning channel is visible across the boundary.
         let count = twin.cooling_output("surrogate.extrapolation_count").unwrap();
         assert!(count >= 0.0);
+    }
+
+    #[test]
+    fn forked_twin_with_plant_matches_continued_original() {
+        // The hard case: the L4 plant's transient state (thermal volumes,
+        // PID integrators, staging hysteresis) must survive the fork for
+        // the continuation to stay bit-identical.
+        let mut twin = DigitalTwin::new(TwinConfig::frontier()).unwrap();
+        twin.submit(vec![Job::new(1, "load", 4096, 3600, 1, 0.8, 0.9)]);
+        twin.run(600).unwrap();
+        let mut forked = twin.fork().unwrap();
+        twin.run(600).unwrap();
+        forked.run(600).unwrap();
+        let (a, b) = (twin.outputs(), forked.outputs());
+        assert_eq!(a.pue.values.len(), b.pue.values.len());
+        assert!(a
+            .pue
+            .values
+            .iter()
+            .zip(&b.pue.values)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_eq!(
+            twin.cooling_output("cdu[1].secondary_supply_temp").map(f64::to_bits),
+            forked.cooling_output("cdu[1].secondary_supply_temp").map(f64::to_bits),
+        );
+        assert_eq!(twin.report(), forked.report());
+    }
+
+    #[test]
+    fn mid_run_cooling_attach_anchors_pue_series_at_the_attach_time() {
+        use crate::config::CoolingBackend;
+        use exadigit_telemetry::replay::CoolingTrace;
+        let mut twin = DigitalTwin::new(TwinConfig::frontier_power_only()).unwrap();
+        twin.run(5_000).unwrap();
+        let backend = CoolingBackend::Replay(CoolingTrace::constant(1.05, 4.0e5));
+        let model = backend.build(&twin.config.plant, 25).unwrap().unwrap();
+        let coupling =
+            exadigit_raps::simulation::CoolingCoupling::attach(model, 25).unwrap();
+        twin.raps_mut().attach_cooling(coupling);
+        twin.run(100).unwrap();
+        let pue = &twin.outputs().pue;
+        assert!(!pue.is_empty());
+        // First sample belongs to the first quantum after t = 5,000.
+        assert_eq!(pue.t0, 5_010.0);
+
+        // Detach, coast, re-attach: the gap's missed quanta pad as NaN
+        // so appended samples keep their physical times.
+        let n_before = pue.len();
+        twin.raps_mut().detach_cooling();
+        twin.run(300).unwrap();
+        let backend = CoolingBackend::Replay(CoolingTrace::constant(1.08, 4.0e5));
+        let model = backend.build(&twin.config.plant, 25).unwrap().unwrap();
+        let coupling =
+            exadigit_raps::simulation::CoolingCoupling::attach(model, 25).unwrap();
+        twin.raps_mut().attach_cooling(coupling);
+        twin.run(45).unwrap();
+        let pue = &twin.outputs().pue;
+        assert!(pue.values[n_before].is_nan(), "gap quanta must read as no-measurement");
+        let last_t = pue.t0 + (pue.len() as f64 - 1.0) * 15.0;
+        assert!(pue.values.last().unwrap() - 1.08 == 0.0);
+        assert!(last_t > 5_400.0, "appended samples carry physical times, got {last_t}");
     }
 
     #[test]

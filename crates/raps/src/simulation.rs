@@ -107,6 +107,20 @@ impl CoolingCoupling {
             cooling_power_output,
         })
     }
+
+    /// Duplicate the coupling mid-simulation, model state included — the
+    /// cooling half of [`RapsSimulation::fork`]. `None` when the model
+    /// does not implement [`CoSimModel::fork`].
+    pub fn fork(&self) -> Option<CoolingCoupling> {
+        Some(CoolingCoupling {
+            model: self.model.fork()?,
+            cdu_inputs: self.cdu_inputs.clone(),
+            wet_bulb_input: self.wet_bulb_input,
+            it_power_input: self.it_power_input,
+            pue_output: self.pue_output,
+            cooling_power_output: self.cooling_power_output,
+        })
+    }
 }
 
 /// Recorded simulation outputs.
@@ -146,7 +160,10 @@ impl SimOutputs {
             loss_w: TimeSeries::new(0.0, dt),
             utilization: TimeSeries::new(0.0, dt),
             efficiency: TimeSeries::new(0.0, dt),
-            pue: TimeSeries::new(0.0, COOLING_PERIOD_S as f64),
+            // The first cooling step runs at the first quantum, so the
+            // series starts there: sample i sits at its physical time
+            // t0 + i·15 (the invariant mid-run attaches preserve).
+            pue: TimeSeries::new(COOLING_PERIOD_S as f64, COOLING_PERIOD_S as f64),
             power_stats: Welford::new(),
             loss_stats: Welford::new(),
             util_stats: Welford::new(),
@@ -160,6 +177,7 @@ impl SimOutputs {
 
 /// A running job plus its allocation, with per-rack node counts cached so
 /// each power recompute is O(racks touched), not O(nodes).
+#[derive(Clone)]
 struct RunningJob {
     job: Job,
     nodes: Vec<u32>,
@@ -282,17 +300,48 @@ impl RapsSimulation {
         }
     }
 
-    /// Attach a cooling model (FMU import). Call before running.
+    /// Attach a cooling model (FMU import). Call before running; also
+    /// used by forked what-ifs to swap fidelity mid-run (the replacement
+    /// model starts from its own `setup` state, not the old model's).
     pub fn attach_cooling(&mut self, mut coupling: CoolingCoupling) {
         coupling.model.setup(self.clock.now_f64());
+        // Keep the PUE series' time axis (sample i at t0 + i·15 s, its
+        // physical time) truthful across mid-run attaches: a first
+        // attach re-anchors t0 to the next quantum; a re-attach after a
+        // detach gap fills the missed quanta with NaN ("no measurement")
+        // so appended samples land at their physical times.
+        let now = self.clock.elapsed();
+        if now > 0 {
+            let next_quantum = ((now / COOLING_PERIOD_S + 1) * COOLING_PERIOD_S) as f64;
+            if self.outputs.pue.is_empty() {
+                self.outputs.pue.t0 = next_quantum;
+            } else {
+                let dt = COOLING_PERIOD_S as f64;
+                while self.outputs.pue.t0 + self.outputs.pue.len() as f64 * dt < next_quantum {
+                    self.outputs.pue.push(f64::NAN);
+                }
+            }
+        }
         self.cooling = Some(coupling);
         self.schedule_wet_bulb_events();
+    }
+
+    /// Detach the cooling model: subsequent seconds run power-only. Any
+    /// scheduled wet-bulb breakpoint events remain in the calendar as
+    /// no-op markers.
+    pub fn detach_cooling(&mut self) -> Option<CoolingCoupling> {
+        self.cooling.take()
     }
 
     /// Provide the wet-bulb temperature forcing (°C over simulated time).
     pub fn set_wet_bulb(&mut self, series: TimeSeries) {
         self.wet_bulb = series;
         self.schedule_wet_bulb_events();
+    }
+
+    /// The current wet-bulb forcing (weather what-ifs perturb this).
+    pub fn wet_bulb(&self) -> &TimeSeries {
+        &self.wet_bulb
     }
 
     /// Register the forcing's piecewise-linear breakpoints as events so
@@ -668,6 +717,85 @@ impl RapsSimulation {
         })
     }
 
+    /// Duplicate the *entire* simulation state mid-run — the snapshot/fork
+    /// primitive behind twin-as-a-service what-if queries.
+    ///
+    /// The fork carries the clock, queues, running allocations, event
+    /// calendar, accumulated outputs, and (when attached) the cooling
+    /// model's internal state, so advancing it is indistinguishable from
+    /// advancing the original: `fork().run_until(t + h)` is bit-identical
+    /// to running the original to `t + h` (pinned by the `service_fork`
+    /// golden + property tests), at cost O(horizon) instead of
+    /// O(elapsed + horizon). Fails only when the cooling model does not
+    /// implement [`CoSimModel::fork`].
+    pub fn fork(&self) -> Result<RapsSimulation, String> {
+        let cooling = match &self.cooling {
+            None => None,
+            Some(c) => Some(c.fork().ok_or_else(|| {
+                format!("cooling model '{}' does not support forking", c.model.instance_name())
+            })?),
+        };
+        Ok(RapsSimulation {
+            cfg: self.cfg.clone(),
+            model: self.model.clone(),
+            policy: self.policy,
+            pool: self.pool.clone(),
+            future: self.future.clone(),
+            pending: self.pending.clone(),
+            running: self.running.clone(),
+            clock: self.clock,
+            acc: self.acc.clone(),
+            snapshot: self.snapshot.clone(),
+            power_dirty: self.power_dirty,
+            sched_echo: self.sched_echo,
+            cooling,
+            wet_bulb: self.wet_bulb.clone(),
+            outputs: self.outputs.clone(),
+            record_every_s: self.record_every_s,
+            events: self.events.clone(),
+            event_buf: Vec::new(),
+            completed: self.completed,
+            active_nodes: self.active_nodes,
+            variable_running: self.variable_running,
+            rack_allocated: self.rack_allocated.clone(),
+            rack_capacity: self.rack_capacity.clone(),
+            total_nodes: self.total_nodes,
+        })
+    }
+
+    /// Swap the power model mid-run — the "what if the power system were
+    /// different from *now on*" primitive behind forked delivery variants
+    /// and per-fork UQ perturbations (`docs/SERVICE.md`).
+    ///
+    /// Only the electrical side may change: `cfg` must describe the same
+    /// machine topology (node/rack counts and partitions), because running
+    /// allocations and the node pool are carried over untouched. The next
+    /// recompute (forced here via `power_dirty`) evaluates the held
+    /// allocation state under the new model.
+    pub fn set_power_model(
+        &mut self,
+        cfg: SystemConfig,
+        delivery: PowerDelivery,
+    ) -> Result<(), String> {
+        if cfg.total_nodes() != self.total_nodes
+            || cfg.total_racks() != self.rack_capacity.len()
+            || cfg.rack.nodes_per_rack != self.cfg.rack.nodes_per_rack
+            || cfg.partitions.len() != self.cfg.partitions.len()
+            || cfg
+                .partitions
+                .iter()
+                .zip(&self.cfg.partitions)
+                .any(|(a, b)| a.nodes != b.nodes)
+        {
+            return Err("set_power_model requires an identical machine topology".into());
+        }
+        self.model = PowerModel::new(cfg.clone(), delivery);
+        self.acc = self.model.new_accumulator();
+        self.cfg = cfg;
+        self.power_dirty = true;
+        Ok(())
+    }
+
     /// The node pool's free-list state (equivalence tests, diagnostics).
     pub fn pool(&self) -> &NodePool {
         &self.pool
@@ -889,6 +1017,42 @@ mod tests {
         let mw = s.snapshot().system_w / 1e6;
         // 9216 nodes in core phase + 256 idle ≈ 22.3 MW (Table III).
         assert!((mw - 22.3).abs() < 0.3, "hpl={mw}");
+    }
+
+    #[test]
+    fn fork_mid_run_is_bit_identical_to_continuing() {
+        let mut gen = crate::workload::WorkloadGenerator::new(
+            crate::workload::WorkloadParams::default(),
+            99,
+        );
+        let jobs = gen.generate_day(0);
+        let mut original = sim();
+        original.submit_jobs(jobs);
+        original.run_until(1800).unwrap();
+        let mut forked = original.fork().unwrap();
+        assert_eq!(forked.now(), original.now());
+        original.run_until(5400).unwrap();
+        forked.run_until(5400).unwrap();
+        assert_eq!(original.report(), forked.report());
+        let (a, b) = (&original.outputs().system_power_w.values, &forked.outputs().system_power_w.values);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_eq!(original.pool(), forked.pool());
+    }
+
+    #[test]
+    fn fork_is_independent_of_the_original() {
+        let mut s = sim();
+        s.submit_jobs(vec![Job::new(1, "j", 128, 600, 5, 0.6, 0.6)]);
+        s.run_until(60).unwrap();
+        let mut f = s.fork().unwrap();
+        // Advancing the fork (and feeding it new work) must not disturb
+        // the original.
+        f.submit_jobs(vec![Job::new(2, "extra", 256, 300, 70, 0.9, 0.9)]);
+        f.run_until(900).unwrap();
+        assert_eq!(s.now(), 60);
+        assert_eq!(s.running_count(), 1);
+        assert_eq!(f.report().jobs_completed, 2);
     }
 
     #[test]

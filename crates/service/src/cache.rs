@@ -1,0 +1,163 @@
+//! Response cache keyed by `(snapshot id, scenario fingerprint)`.
+//!
+//! Cache coherence rests on two determinism guarantees: a snapshot is
+//! immutable, and [`crate::run_whatif`] is a pure function of
+//! `(snapshot, spec)` — bit-identical at any pool width (per-draw RNG
+//! streams are index-keyed and reductions fold in index order). The
+//! same question asked of the same frozen state therefore always has
+//! the same answer, and memoising it is sound.
+//!
+//! The **scenario fingerprint** is FNV-1a 64 over the spec's canonical
+//! JSON (field order is fixed by declaration order, so equal specs
+//! serialise identically). Two specs differing in any field — label
+//! included — fingerprint differently; the label is deliberately part
+//! of the key so that a re-labelled scenario reads as a new question
+//! rather than silently aliasing an old answer.
+
+use crate::query::{WhatIfOutcome, WhatIfSpec};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// FNV-1a 64-bit over a byte string.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The scenario half of the cache key: FNV-1a 64 over the spec's
+/// canonical JSON.
+pub fn scenario_fingerprint(spec: &WhatIfSpec) -> u64 {
+    let json = serde_json::to_string(spec).expect("specs serialise");
+    fnv1a64(json.as_bytes())
+}
+
+/// A bounded FIFO memo of query outcomes.
+pub struct QueryCache {
+    map: HashMap<(u64, u64), WhatIfOutcome>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<(u64, u64)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl QueryCache {
+    /// Cache holding at most `capacity` outcomes (oldest evicted first).
+    pub fn new(capacity: usize) -> Self {
+        QueryCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up a memoised outcome, counting the hit or miss.
+    pub fn get(&mut self, snapshot_id: u64, fingerprint: u64) -> Option<WhatIfOutcome> {
+        match self.map.get(&(snapshot_id, fingerprint)) {
+            Some(out) => {
+                self.hits += 1;
+                Some(out.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoise an outcome, evicting the oldest entry at capacity.
+    pub fn insert(&mut self, snapshot_id: u64, fingerprint: u64, outcome: WhatIfOutcome) {
+        let key = (snapshot_id, fingerprint);
+        if self.map.insert(key, outcome).is_none() {
+            self.order.push_back(key);
+            while self.order.len() > self.capacity {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.map.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    /// Drop every entry answered from `snapshot_id` (called when the
+    /// snapshot is dropped — its id will never be asked again, and ids
+    /// are not reused, but the memory is reclaimed eagerly).
+    pub fn invalidate_snapshot(&mut self, snapshot_id: u64) {
+        self.map.retain(|&(sid, _), _| sid != snapshot_id);
+        self.order.retain(|&(sid, _)| sid != snapshot_id);
+    }
+
+    /// Number of memoised outcomes.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is memoised.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Lifetime (hits, misses).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(label: &str) -> WhatIfOutcome {
+        WhatIfOutcome {
+            label: label.into(),
+            from_s: 0,
+            to_s: 1,
+            jobs_completed: 0,
+            avg_power_mw: 1.0,
+            power_std_mw: 0.0,
+            energy_mwh: 1.0,
+            energy_std_mwh: 0.0,
+            final_pue: None,
+            final_utilization: 0.0,
+            draws: 1,
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        let a = WhatIfSpec::default();
+        assert_eq!(scenario_fingerprint(&a), scenario_fingerprint(&a.clone()));
+        let b = WhatIfSpec { horizon_s: 7_200, ..WhatIfSpec::default() };
+        assert_ne!(scenario_fingerprint(&a), scenario_fingerprint(&b));
+        let c = WhatIfSpec { label: "named".into(), ..WhatIfSpec::default() };
+        assert_ne!(scenario_fingerprint(&a), scenario_fingerprint(&c), "label is part of the key");
+    }
+
+    #[test]
+    fn hit_miss_accounting_and_eviction() {
+        let mut cache = QueryCache::new(2);
+        assert!(cache.get(1, 10).is_none());
+        cache.insert(1, 10, outcome("a"));
+        cache.insert(1, 20, outcome("b"));
+        assert_eq!(cache.get(1, 10).unwrap().label, "a");
+        cache.insert(1, 30, outcome("c")); // evicts (1,10)
+        assert!(cache.get(1, 10).is_none(), "FIFO eviction dropped the oldest");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats(), (1, 2));
+    }
+
+    #[test]
+    fn snapshot_invalidation_is_per_snapshot() {
+        let mut cache = QueryCache::new(8);
+        cache.insert(1, 10, outcome("a"));
+        cache.insert(2, 10, outcome("b"));
+        cache.invalidate_snapshot(1);
+        assert!(cache.get(1, 10).is_none());
+        assert_eq!(cache.get(2, 10).unwrap().label, "b");
+    }
+}

@@ -1,0 +1,50 @@
+//! A blocking protocol client for tests, benches, and the example.
+//!
+//! Any JSON-capable language can speak the wire format directly (see
+//! `docs/SERVICE.md`); this client exists so Rust callers don't
+//! hand-roll the line framing.
+
+use crate::protocol::{read_message, write_message, Request, Response};
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected protocol client (one request/response in flight at a
+/// time, matching the per-connection protocol state machine).
+pub struct ServiceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ServiceClient {
+    /// Connect to a [`crate::TwinServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ServiceClient> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(ServiceClient { reader: BufReader::new(stream), writer })
+    }
+
+    /// Send one request and block for its response.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        write_message(&mut self.writer, request)?;
+        match read_message::<Response>(&mut self.reader)? {
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+            Some(Err(e)) => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed response: {e}"),
+            )),
+            Some(Ok(response)) => Ok(response),
+        }
+    }
+
+    /// [`ServiceClient::request`], but any protocol-level
+    /// [`Response::Error`] becomes an `Err` for terser call sites.
+    pub fn expect(&mut self, request: &Request) -> io::Result<Response> {
+        match self.request(request)? {
+            Response::Error { message } => Err(io::Error::other(message)),
+            response => Ok(response),
+        }
+    }
+}

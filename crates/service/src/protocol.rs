@@ -1,0 +1,274 @@
+//! The wire protocol: newline-delimited JSON over plain TCP.
+//!
+//! One request per line, one response per line, strictly alternating per
+//! connection. Messages are externally tagged serde JSON —
+//! `{"Advance":{"seconds":3600}}`, `"Status"`, … — so any language with
+//! a JSON library can speak the protocol with a socket and a line
+//! reader; no framing beyond `\n`. The full grammar, with examples, is
+//! in `docs/SERVICE.md`.
+//!
+//! Malformed lines answer [`Response::Error`] without closing the
+//! connection; the protocol state machine cannot desynchronise because
+//! every line is a complete message.
+
+use crate::query::{WhatIfOutcome, WhatIfSpec};
+use crate::snapshot::SnapshotInfo;
+use serde::{Deserialize, Serialize};
+use std::io::{self, BufRead, Write};
+
+/// A client request (one JSON line).
+// Wire messages are transient (one parse, one handle, dropped), so the
+// spec-carrying variants' size is irrelevant next to grammar clarity.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Server and live-twin status.
+    Status,
+    /// Ingest telemetry and advance the live twin by `seconds`.
+    Advance {
+        /// Seconds of simulated time (and telemetry) to ingest.
+        seconds: u64,
+    },
+    /// Freeze the live twin into a new snapshot.
+    Snapshot {
+        /// Label echoed in listings, e.g. `"noon"`.
+        label: String,
+    },
+    /// Summaries of every held snapshot.
+    ListSnapshots,
+    /// Drop a snapshot (in-flight queries on it finish unaffected).
+    DropSnapshot {
+        /// Id to drop.
+        snapshot_id: u64,
+    },
+    /// Answer one what-if from a snapshot (memoised).
+    Query {
+        /// Snapshot to branch from.
+        snapshot_id: u64,
+        /// The scenario.
+        spec: WhatIfSpec,
+    },
+    /// Answer a batch of what-ifs from one snapshot in a single pool
+    /// pass; outcomes return in spec order.
+    QueryBatch {
+        /// Snapshot to branch from.
+        snapshot_id: u64,
+        /// The scenarios.
+        specs: Vec<WhatIfSpec>,
+    },
+    /// Stop accepting connections and shut the server down.
+    Shutdown,
+}
+
+/// Server/live-twin status (the `Status` response payload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerStatus {
+    /// Live twin's simulated second.
+    pub now_s: u64,
+    /// Jobs running on the live twin.
+    pub running_jobs: u64,
+    /// Jobs queued on the live twin.
+    pub pending_jobs: u64,
+    /// Jobs ingested from the feed so far.
+    pub jobs_ingested: u64,
+    /// Jobs the feed still holds.
+    pub feed_pending_jobs: u64,
+    /// Snapshots currently held.
+    pub snapshots: u64,
+    /// Outcomes currently memoised.
+    pub cache_entries: u64,
+    /// Lifetime cache hits.
+    pub cache_hits: u64,
+    /// Lifetime cache misses.
+    pub cache_misses: u64,
+    /// Live twin's latest PUE (`None` without cooling).
+    pub pue: Option<f64>,
+}
+
+/// A server response (one JSON line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Reply to [`Request::Status`].
+    Status(ServerStatus),
+    /// Reply to [`Request::Advance`].
+    Advanced {
+        /// Live twin's simulated second after the advance.
+        now_s: u64,
+        /// Jobs ingested from the feed during this advance.
+        jobs_ingested: u64,
+    },
+    /// Reply to [`Request::Snapshot`].
+    SnapshotTaken(SnapshotInfo),
+    /// Reply to [`Request::ListSnapshots`].
+    Snapshots(Vec<SnapshotInfo>),
+    /// Reply to [`Request::DropSnapshot`].
+    Dropped {
+        /// The id that was dropped.
+        snapshot_id: u64,
+    },
+    /// Reply to [`Request::Query`].
+    Answer {
+        /// True when served from the cache.
+        cached: bool,
+        /// The outcome.
+        outcome: WhatIfOutcome,
+    },
+    /// Reply to [`Request::QueryBatch`].
+    Answers {
+        /// How many of the outcomes came from the cache.
+        cached_hits: u64,
+        /// Outcomes in spec order.
+        outcomes: Vec<WhatIfOutcome>,
+    },
+    /// Reply to [`Request::Shutdown`]; the server stops accepting
+    /// connections after sending it.
+    ShuttingDown,
+    /// Any failure: unknown snapshot, malformed request, fork error, …
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Write one message as a JSON line.
+pub fn write_message<T: Serialize>(writer: &mut impl Write, message: &T) -> io::Result<()> {
+    let json = serde_json::to_string(message)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    writer.write_all(json.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Per-line byte cap: a spec with trace-level jobs is megabytes at
+/// most, so anything beyond this is wire abuse, and an unbounded
+/// `read_line` would grow a handler thread's buffer until the whole
+/// server (live twin and snapshots included) is taken down.
+pub const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+
+/// `read_line` with a byte cap: reads up to and including the next
+/// `\n`, erroring (`InvalidData`) once a line exceeds
+/// [`MAX_LINE_BYTES`] — the caller should drop the connection.
+fn read_line_capped(reader: &mut impl BufRead, line: &mut Vec<u8>) -> io::Result<usize> {
+    let start = line.len();
+    loop {
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(line.len() - start); // EOF
+        }
+        let (chunk, done) = match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => (&buf[..=pos], true),
+            None => (buf, false),
+        };
+        if line.len() - start + chunk.len() > MAX_LINE_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line exceeds the {MAX_LINE_BYTES}-byte cap"),
+            ));
+        }
+        line.extend_from_slice(chunk);
+        let consumed = chunk.len();
+        reader.consume(consumed);
+        if done {
+            return Ok(line.len() - start);
+        }
+    }
+}
+
+/// Read one JSON line into a message. `Ok(None)` on clean EOF;
+/// `Ok(Some(Err(_)))` on a malformed line (the connection stays
+/// usable); `Err` on a broken socket or a line past [`MAX_LINE_BYTES`].
+#[allow(clippy::type_complexity)]
+pub fn read_message<T: Deserialize>(
+    reader: &mut impl BufRead,
+) -> io::Result<Option<Result<T, String>>> {
+    let mut line = Vec::new();
+    loop {
+        line.clear();
+        if read_line_capped(reader, &mut line)? == 0 {
+            return Ok(None);
+        }
+        let text = String::from_utf8_lossy(&line);
+        let trimmed = text.trim();
+        if !trimmed.is_empty() {
+            return Ok(Some(serde_json::from_str(trimmed).map_err(|e| e.to_string())));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_the_wire_format() {
+        let requests = vec![
+            Request::Status,
+            Request::Advance { seconds: 3_600 },
+            Request::Snapshot { label: "noon".into() },
+            Request::ListSnapshots,
+            Request::DropSnapshot { snapshot_id: 3 },
+            Request::Query { snapshot_id: 1, spec: WhatIfSpec::default() },
+            Request::QueryBatch {
+                snapshot_id: 1,
+                specs: vec![
+                    WhatIfSpec { label: "warm".into(), wet_bulb_offset_c: 4.0, ..WhatIfSpec::default() },
+                    WhatIfSpec { draws: 16, ..WhatIfSpec::default() },
+                ],
+            },
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let json = serde_json::to_string(&req).unwrap();
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(req, back, "round trip failed for {json}");
+        }
+    }
+
+    #[test]
+    fn line_io_round_trips_and_survives_garbage() {
+        let mut wire = Vec::new();
+        write_message(&mut wire, &Request::Advance { seconds: 60 }).unwrap();
+        wire.extend_from_slice(b"this is not json\n");
+        write_message(&mut wire, &Request::Status).unwrap();
+
+        let mut reader = io::BufReader::new(wire.as_slice());
+        let first: Request = read_message(&mut reader).unwrap().unwrap().unwrap();
+        assert_eq!(first, Request::Advance { seconds: 60 });
+        let garbage = read_message::<Request>(&mut reader).unwrap().unwrap();
+        assert!(garbage.is_err(), "malformed line reports, not panics");
+        let second: Request = read_message(&mut reader).unwrap().unwrap().unwrap();
+        assert_eq!(second, Request::Status);
+        assert!(read_message::<Request>(&mut reader).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_lines_error_instead_of_growing_without_bound() {
+        // A newline-free flood must be rejected once it passes the cap,
+        // not buffered until the process dies.
+        struct Flood {
+            served: usize,
+        }
+        impl io::Read for Flood {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                buf.fill(b'x');
+                self.served += buf.len();
+                Ok(buf.len())
+            }
+        }
+        let mut reader = io::BufReader::new(Flood { served: 0 });
+        let err = read_message::<Request>(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // The reader stopped near the cap rather than draining forever.
+        assert!(reader.get_ref().served < MAX_LINE_BYTES + 1_000_000);
+    }
+
+    #[test]
+    fn externally_tagged_shape_is_stable() {
+        // The documented grammar (docs/SERVICE.md) promises this shape.
+        let json = serde_json::to_string(&Request::Advance { seconds: 5 }).unwrap();
+        assert!(json.contains("\"Advance\""), "{json}");
+        assert!(json.contains("\"seconds\""), "{json}");
+        let unit = serde_json::to_string(&Request::Status).unwrap();
+        assert!(unit.contains("Status"), "{unit}");
+    }
+}

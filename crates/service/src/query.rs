@@ -1,0 +1,379 @@
+//! What-if queries answered by forking a snapshot.
+//!
+//! A [`WhatIfSpec`] names every scenario family the service answers from
+//! a frozen state: plain continuations ("what happens next?"), weather
+//! variants (wet-bulb offset or override), power-delivery variants
+//! ("what if we switched the conversion chain now?"), extra-load
+//! injections, fidelity swaps (any [`CoolingBackend`], so an expensive
+//! L4 snapshot can answer cheap L3-surrogate queries), and Monte-Carlo
+//! UQ ensembles over the power-model parameters (`draws > 1`, one fork
+//! per draw, per-fork RNG streams split from the snapshot seed).
+//!
+//! Every query costs O(horizon): the fork resumes from the snapshot
+//! second instead of replaying from t = 0. Outcomes report *marginal*
+//! quantities over the queried horizon (energy, completions, average
+//! power from the fork point on), which is what a "from now" decision
+//! needs — the shared history before the fork point would only dilute
+//! the comparison between variants.
+
+use crate::snapshot::TwinSnapshot;
+use exadigit_core::config::CoolingBackend;
+use exadigit_core::twin::DigitalTwin;
+use exadigit_raps::job::Job;
+use exadigit_raps::power::PowerDelivery;
+use exadigit_raps::simulation::CoolingCoupling;
+use exadigit_raps::uq::{self, UqPerturbations};
+use exadigit_sim::ensemble::EnsembleRunner;
+use exadigit_sim::{Rng, TimeSeries};
+use serde::{Deserialize, Serialize};
+
+/// One what-if scenario to branch from a snapshot.
+///
+/// The default spec is the plain continuation: run one hour forward with
+/// nothing changed. Every field composes with every other (e.g. a warmer
+/// afternoon *and* a delivery swap *and* 32 UQ draws is one spec).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WhatIfSpec {
+    /// Scenario label echoed in the outcome (also part of the cache key).
+    pub label: String,
+    /// Seconds to advance the fork past the snapshot second.
+    pub horizon_s: u64,
+    /// Added to the wet-bulb forcing, °C (weather variant).
+    pub wet_bulb_offset_c: f64,
+    /// Replace the forcing with a constant, °C (applied before the
+    /// offset).
+    pub wet_bulb_c: Option<f64>,
+    /// Swap the power-delivery variant from the fork point on.
+    pub delivery: Option<PowerDelivery>,
+    /// Extra jobs injected at the fork point (submit times at or before
+    /// the snapshot second arrive immediately).
+    pub extra_jobs: Vec<Job>,
+    /// Swap the cooling backend (fidelity selection). The replacement
+    /// model starts from its own `setup` state — physical plant state
+    /// does not transfer across fidelities. `Some(CoolingBackend::None)`
+    /// detaches cooling entirely.
+    pub backend: Option<CoolingBackend>,
+    /// Monte-Carlo ensemble size: `> 1` runs that many forks, each with
+    /// power-model parameters perturbed from its own RNG stream, and
+    /// reports mean/std. `0` or `1` is a single deterministic fork.
+    pub draws: u64,
+    /// 1-σ magnitudes for the UQ perturbation (used when `draws > 1`).
+    pub perturbations: UqPerturbations,
+}
+
+impl Default for WhatIfSpec {
+    fn default() -> Self {
+        WhatIfSpec {
+            label: String::new(),
+            horizon_s: 3_600,
+            wet_bulb_offset_c: 0.0,
+            wet_bulb_c: None,
+            delivery: None,
+            extra_jobs: Vec::new(),
+            backend: None,
+            draws: 1,
+            perturbations: UqPerturbations::default(),
+        }
+    }
+}
+
+/// What one what-if produced, marginal over the queried horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WhatIfOutcome {
+    /// The spec's label, echoed.
+    pub label: String,
+    /// Fork point (snapshot second).
+    pub from_s: u64,
+    /// End of the queried horizon.
+    pub to_s: u64,
+    /// Jobs completed within the horizon.
+    pub jobs_completed: u64,
+    /// Average system power over the horizon, MW (ensemble mean when
+    /// `draws > 1`).
+    pub avg_power_mw: f64,
+    /// Std of average power across draws, MW (0 for a single fork).
+    pub power_std_mw: f64,
+    /// Energy consumed over the horizon, MWh (ensemble mean).
+    pub energy_mwh: f64,
+    /// Std of horizon energy across draws, MWh (0 for a single fork).
+    pub energy_std_mwh: f64,
+    /// PUE at the end of the horizon (`None` without cooling), ensemble
+    /// mean.
+    pub final_pue: Option<f64>,
+    /// Node-allocation utilization at the end of the horizon.
+    pub final_utilization: f64,
+    /// Ensemble size this outcome aggregates (1 for a single fork).
+    pub draws: u64,
+}
+
+/// Marginal numbers from one fork run.
+struct ForkRun {
+    jobs_completed: u64,
+    avg_power_mw: f64,
+    energy_mwh: f64,
+    final_pue: Option<f64>,
+    final_utilization: f64,
+}
+
+/// Apply the spec's deterministic overrides to a fresh fork.
+fn apply_overrides(twin: &mut DigitalTwin, spec: &WhatIfSpec) -> Result<(), String> {
+    if let Some(backend) = &spec.backend {
+        let num_cdus = twin.config.system.cooling.num_cdus;
+        match backend.build(&twin.config.plant, num_cdus)? {
+            Some(model) => {
+                let coupling = CoolingCoupling::attach(model, num_cdus)?;
+                twin.raps_mut().attach_cooling(coupling);
+            }
+            None => {
+                twin.raps_mut().detach_cooling();
+            }
+        }
+        twin.config.cooling = backend.clone();
+    }
+    if let Some(delivery) = spec.delivery {
+        let cfg = twin.config.system.clone();
+        twin.raps_mut().set_power_model(cfg, delivery)?;
+        twin.config.delivery = delivery;
+    }
+    if let Some(constant) = spec.wet_bulb_c {
+        twin.set_wet_bulb(TimeSeries::from_values(0.0, 3_600.0, vec![constant, constant]));
+    }
+    if spec.wet_bulb_offset_c != 0.0 {
+        let off = spec.wet_bulb_offset_c;
+        let shifted = twin.raps().wet_bulb().map(|v| v + off);
+        twin.set_wet_bulb(shifted);
+    }
+    if !spec.extra_jobs.is_empty() {
+        twin.submit(spec.extra_jobs.clone());
+    }
+    Ok(())
+}
+
+/// Run one fork to the horizon and read off the marginal numbers.
+fn run_fork(
+    snapshot: &TwinSnapshot,
+    spec: &WhatIfSpec,
+    perturb_rng: Option<&mut Rng>,
+) -> Result<ForkRun, String> {
+    let mut twin = snapshot.fork()?;
+    apply_overrides(&mut twin, spec)?;
+    if let Some(rng) = perturb_rng {
+        let perturbed = uq::perturb_config(&twin.config.system, &spec.perturbations, rng);
+        let delivery = twin.config.delivery;
+        twin.raps_mut().set_power_model(perturbed, delivery)?;
+    }
+    let r0 = twin.report();
+    twin.run(spec.horizon_s).map_err(|e| format!("fork run failed: {e}"))?;
+    let r1 = twin.report();
+    let hours = spec.horizon_s as f64 / 3_600.0;
+    let energy_mwh = r1.total_energy_mwh - r0.total_energy_mwh;
+    Ok(ForkRun {
+        jobs_completed: r1.jobs_completed - r0.jobs_completed,
+        avg_power_mw: if hours > 0.0 { energy_mwh / hours } else { 0.0 },
+        energy_mwh,
+        final_pue: twin.cooling_output("pue"),
+        final_utilization: twin.utilization(),
+    })
+}
+
+/// Answer a what-if from a snapshot: fork, apply the overrides, advance
+/// the horizon, and report marginal outcomes. `draws > 1` fans that many
+/// forks across the pool (`threads`, `None` = process default) with
+/// per-fork RNG streams split from the snapshot seed — bit-identical at
+/// any pool width, which is what makes the response cacheable.
+pub fn run_whatif(
+    snapshot: &TwinSnapshot,
+    spec: &WhatIfSpec,
+    threads: Option<usize>,
+) -> Result<WhatIfOutcome, String> {
+    // Specs arrive over the wire: bound them before they can wedge a
+    // handler thread (mirrors the Advance cap in the server).
+    const MAX_HORIZON_S: u64 = 366 * 86_400;
+    const MAX_DRAWS: u64 = 4_096;
+    if spec.horizon_s > MAX_HORIZON_S {
+        return Err(format!(
+            "horizon of {} s exceeds the {MAX_HORIZON_S} s (1 year) per-query cap",
+            spec.horizon_s
+        ));
+    }
+    if spec.draws > MAX_DRAWS {
+        return Err(format!("{} draws exceed the {MAX_DRAWS} per-query cap", spec.draws));
+    }
+    let (from_s, to_s) = (snapshot.taken_at_s, snapshot.taken_at_s + spec.horizon_s);
+    if spec.draws <= 1 {
+        let run = run_fork(snapshot, spec, None)?;
+        return Ok(WhatIfOutcome {
+            label: spec.label.clone(),
+            from_s,
+            to_s,
+            jobs_completed: run.jobs_completed,
+            avg_power_mw: run.avg_power_mw,
+            power_std_mw: 0.0,
+            energy_mwh: run.energy_mwh,
+            energy_std_mwh: 0.0,
+            final_pue: run.final_pue,
+            final_utilization: run.final_utilization,
+            draws: 1,
+        });
+    }
+
+    // UQ ensemble: per-draw streams derive from the snapshot seed and the
+    // scenario fingerprint, so the same question always draws the same
+    // perturbations (cache coherence) while distinct scenarios and
+    // snapshots stay independent.
+    let seed = snapshot.seed ^ crate::cache::scenario_fingerprint(spec);
+    let mut runner = EnsembleRunner::new(seed);
+    if let Some(n) = threads {
+        runner = runner.threads(n);
+    }
+    let runs: Vec<Result<ForkRun, String>> =
+        runner.run_draws(spec.draws as usize, |ctx| run_fork(snapshot, spec, Some(&mut ctx.rng)));
+    let runs: Vec<ForkRun> = runs.into_iter().collect::<Result<_, _>>()?;
+
+    // Sample std via the workspace accumulator, so `power_std_mw` means
+    // the same thing here as in `exadigit_raps::uq::UqSummary`.
+    let mean_std = |values: Vec<f64>| {
+        let s = exadigit_sim::stats::Summary::of(&values);
+        (s.mean, s.std)
+    };
+    let (power_mean, power_std) =
+        mean_std(runs.iter().map(|r| r.avg_power_mw).collect());
+    let (energy_mean, energy_std) =
+        mean_std(runs.iter().map(|r| r.energy_mwh).collect());
+    let pues: Vec<f64> = runs.iter().filter_map(|r| r.final_pue).collect();
+    Ok(WhatIfOutcome {
+        label: spec.label.clone(),
+        from_s,
+        to_s,
+        // Power perturbations do not alter scheduling, so completions are
+        // identical across draws; report the first.
+        jobs_completed: runs[0].jobs_completed,
+        avg_power_mw: power_mean,
+        power_std_mw: power_std,
+        energy_mwh: energy_mean,
+        energy_std_mwh: energy_std,
+        final_pue: if pues.is_empty() {
+            None
+        } else {
+            Some(pues.iter().sum::<f64>() / pues.len() as f64)
+        },
+        final_utilization: runs[0].final_utilization,
+        draws: spec.draws,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotStore;
+    use exadigit_core::config::TwinConfig;
+    use exadigit_telemetry::replay::CoolingTrace;
+
+    fn snapshot_at(seconds: u64) -> (SnapshotStore, std::sync::Arc<TwinSnapshot>) {
+        let mut twin = DigitalTwin::new(TwinConfig::frontier_power_only()).unwrap();
+        twin.submit(vec![
+            Job::new(1, "base", 2048, 7_200, 10, 0.7, 0.8),
+            Job::new(2, "tail", 512, 1_800, 30, 0.5, 0.5),
+        ]);
+        twin.run(seconds).unwrap();
+        let mut store = SnapshotStore::new(4, 99);
+        let snap = store.take(&twin, format!("t{seconds}")).unwrap();
+        (store, snap)
+    }
+
+    #[test]
+    fn continuation_query_reports_marginals() {
+        let (_store, snap) = snapshot_at(600);
+        let out = run_whatif(&snap, &WhatIfSpec::default(), Some(1)).unwrap();
+        assert_eq!(out.from_s, 600);
+        assert_eq!(out.to_s, 4_200);
+        assert!(out.avg_power_mw > 7.0, "loaded Frontier ≥ idle power");
+        assert!(out.energy_mwh > 0.0);
+        assert_eq!(out.draws, 1);
+        assert_eq!(out.power_std_mw, 0.0);
+    }
+
+    #[test]
+    fn identical_queries_are_bit_identical() {
+        let (_store, snap) = snapshot_at(300);
+        let spec = WhatIfSpec { horizon_s: 1_800, ..WhatIfSpec::default() };
+        let a = run_whatif(&snap, &spec, Some(1)).unwrap();
+        let b = run_whatif(&snap, &spec, Some(1)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delivery_variant_changes_power_not_completions() {
+        let (_store, snap) = snapshot_at(300);
+        let base = run_whatif(&snap, &WhatIfSpec::default(), Some(1)).unwrap();
+        let dc = run_whatif(
+            &snap,
+            &WhatIfSpec {
+                delivery: Some(PowerDelivery::Direct380Vdc),
+                ..WhatIfSpec::default()
+            },
+            Some(1),
+        )
+        .unwrap();
+        assert_eq!(base.jobs_completed, dc.jobs_completed);
+        assert!(
+            dc.avg_power_mw < base.avg_power_mw,
+            "380 Vdc skips a conversion stage: {} !< {}",
+            dc.avg_power_mw,
+            base.avg_power_mw
+        );
+    }
+
+    #[test]
+    fn extra_jobs_raise_power() {
+        let (_store, snap) = snapshot_at(300);
+        let base = run_whatif(&snap, &WhatIfSpec::default(), Some(1)).unwrap();
+        let loaded = run_whatif(
+            &snap,
+            &WhatIfSpec {
+                extra_jobs: vec![Job::new(99, "surge", 4_096, 3_000, 0, 0.9, 0.95)],
+                ..WhatIfSpec::default()
+            },
+            Some(1),
+        )
+        .unwrap();
+        assert!(loaded.avg_power_mw > base.avg_power_mw + 1.0);
+        assert_eq!(loaded.jobs_completed, base.jobs_completed + 1);
+    }
+
+    #[test]
+    fn backend_swap_serves_l2_pue_from_a_power_only_snapshot() {
+        let (_store, snap) = snapshot_at(300);
+        assert!(snap.twin().cooling_output("pue").is_none());
+        let out = run_whatif(
+            &snap,
+            &WhatIfSpec {
+                backend: Some(CoolingBackend::Replay(CoolingTrace::constant(1.0625, 5.0e5))),
+                ..WhatIfSpec::default()
+            },
+            Some(1),
+        )
+        .unwrap();
+        assert_eq!(out.final_pue, Some(1.0625));
+    }
+
+    #[test]
+    fn wire_scale_abuse_is_rejected_not_run() {
+        let (_store, snap) = snapshot_at(60);
+        let huge_horizon = WhatIfSpec { horizon_s: u64::MAX, ..WhatIfSpec::default() };
+        assert!(run_whatif(&snap, &huge_horizon, Some(1)).is_err());
+        let huge_draws = WhatIfSpec { draws: u64::MAX, horizon_s: 60, ..WhatIfSpec::default() };
+        assert!(run_whatif(&snap, &huge_draws, Some(1)).is_err());
+    }
+
+    #[test]
+    fn uq_draws_are_width_invariant_and_spread() {
+        let (_store, snap) = snapshot_at(300);
+        let spec = WhatIfSpec { draws: 8, horizon_s: 1_200, ..WhatIfSpec::default() };
+        let w1 = run_whatif(&snap, &spec, Some(1)).unwrap();
+        let w4 = run_whatif(&snap, &spec, Some(4)).unwrap();
+        assert_eq!(w1, w4, "pool width must not change the ensemble");
+        assert!(w1.power_std_mw > 0.0, "perturbations must spread the ensemble");
+        assert_eq!(w1.draws, 8);
+    }
+}

@@ -1,0 +1,512 @@
+//! The persistent twin service and its TCP front end.
+//!
+//! [`TwinService`] is the protocol-agnostic core: one live twin fed by a
+//! [`TelemetryFeed`], a [`SnapshotStore`], and a [`QueryCache`], all
+//! behind locks so [`TwinService::handle`] is callable from any thread.
+//! The locking is deliberately asymmetric: ingest ([`Request::Advance`])
+//! serialises on the live-twin mutex, while what-if queries only take
+//! that lock long enough to resolve a snapshot `Arc` — the fork and the
+//! horizon run execute lock-free, which is what makes *concurrent*
+//! scenario queries concurrent in practice.
+//!
+//! [`TwinServer`] puts the service behind `std::net::TcpListener`: one
+//! thread per connection, newline-delimited JSON per
+//! [`crate::protocol`]. The paper-scale deployment would put a real
+//! stream and scheduler behind the same two types; the protocol and
+//! state machine are the contribution here, not the socket handling.
+
+use crate::cache::{scenario_fingerprint, QueryCache};
+use crate::protocol::{read_message, write_message, Request, Response, ServerStatus};
+use crate::query::{run_whatif, WhatIfOutcome, WhatIfSpec};
+use crate::snapshot::{SnapshotStore, TwinSnapshot};
+use exadigit_core::config::TwinConfig;
+use exadigit_core::twin::DigitalTwin;
+use exadigit_sim::ensemble::EnsembleRunner;
+use exadigit_telemetry::replay::TelemetryFeed;
+use parking_lot::Mutex;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The live twin plus its telemetry feed (one lock, one writer at a
+/// time: ingest is inherently serial).
+struct LiveState {
+    twin: DigitalTwin,
+    feed: TelemetryFeed,
+    jobs_ingested: u64,
+}
+
+/// The persistent twin service: live twin, snapshots, query cache.
+pub struct TwinService {
+    live: Mutex<LiveState>,
+    snapshots: Mutex<SnapshotStore>,
+    cache: Mutex<QueryCache>,
+    /// Pool width for query fan-out (`None` = process default).
+    threads: Option<usize>,
+}
+
+impl TwinService {
+    /// Build the service: construct the live twin from `config`, wire the
+    /// feed's wet-bulb forcing into it, and derive all snapshot RNG
+    /// streams from `seed`. Defaults: 32 snapshots, 1024 cached outcomes,
+    /// process-default pool width (see the `with_*` builders).
+    pub fn new(config: TwinConfig, feed: TelemetryFeed, seed: u64) -> Result<Self, String> {
+        let mut twin = DigitalTwin::new(config)?;
+        twin.set_wet_bulb(feed.wet_bulb().clone());
+        Ok(TwinService {
+            live: Mutex::new(LiveState { twin, feed, jobs_ingested: 0 }),
+            snapshots: Mutex::new(SnapshotStore::new(32, seed)),
+            cache: Mutex::new(QueryCache::new(1024)),
+            threads: None,
+        })
+    }
+
+    /// Cap the snapshot store (builder style).
+    pub fn with_max_snapshots(self, max_snapshots: usize) -> Self {
+        let seed = {
+            // Rebuild the store with the same seed; only valid before
+            // serving (no snapshots taken yet).
+            let store = self.snapshots.lock();
+            assert!(store.is_empty(), "configure before taking snapshots");
+            store.seed()
+        };
+        TwinService {
+            snapshots: Mutex::new(SnapshotStore::new(max_snapshots, seed)),
+            ..self
+        }
+    }
+
+    /// Cap the query cache (builder style).
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        TwinService { cache: Mutex::new(QueryCache::new(capacity)), ..self }
+    }
+
+    /// Pin the pool width query fan-out uses (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Handle one request. Thread-safe: ingest serialises on the live
+    /// twin, queries run lock-free after resolving their snapshot.
+    pub fn handle(&self, request: &Request) -> Response {
+        match request {
+            Request::Status => self.status(),
+            Request::Advance { seconds } => self.advance(*seconds),
+            Request::Snapshot { label } => self.take_snapshot(label.clone()),
+            Request::ListSnapshots => Response::Snapshots(self.snapshots.lock().list()),
+            Request::DropSnapshot { snapshot_id } => self.drop_snapshot(*snapshot_id),
+            Request::Query { snapshot_id, spec } => self.query(*snapshot_id, spec),
+            Request::QueryBatch { snapshot_id, specs } => self.query_batch(*snapshot_id, specs),
+            Request::Shutdown => Response::ShuttingDown,
+        }
+    }
+
+    fn status(&self) -> Response {
+        let live = self.live.lock();
+        let (running, pending) = live.twin.queue_state();
+        let cache = self.cache.lock();
+        let (hits, misses) = cache.stats();
+        Response::Status(ServerStatus {
+            now_s: live.twin.now(),
+            running_jobs: running as u64,
+            pending_jobs: pending as u64,
+            jobs_ingested: live.jobs_ingested,
+            feed_pending_jobs: live.feed.pending_jobs() as u64,
+            snapshots: self.snapshots.lock().len() as u64,
+            cache_entries: cache.len() as u64,
+            cache_hits: hits,
+            cache_misses: misses,
+            pue: live.twin.cooling_output("pue"),
+        })
+    }
+
+    fn advance(&self, seconds: u64) -> Response {
+        // Bound the request before taking the ingest lock: an absurd
+        // horizon would hold the live-twin mutex for an unbounded run
+        // (and overflow the target arithmetic), wedging every client.
+        const MAX_ADVANCE_S: u64 = 366 * 86_400;
+        if seconds > MAX_ADVANCE_S {
+            return Response::Error {
+                message: format!(
+                    "advance of {seconds} s exceeds the {MAX_ADVANCE_S} s (1 year) per-request cap"
+                ),
+            };
+        }
+        let mut live = self.live.lock();
+        let target = live.twin.now() + seconds;
+        let batch = live.feed.poll(target);
+        let ingested = batch.len() as u64;
+        live.jobs_ingested += ingested;
+        if !batch.is_empty() {
+            live.twin.submit(batch);
+        }
+        match live.twin.run(seconds) {
+            Ok(()) => Response::Advanced { now_s: live.twin.now(), jobs_ingested: ingested },
+            Err(e) => Response::Error { message: format!("advance failed: {e}") },
+        }
+    }
+
+    fn take_snapshot(&self, label: String) -> Response {
+        // Hold the live lock across the clone so the frozen state is a
+        // consistent instant; O(state), not O(elapsed).
+        let live = self.live.lock();
+        match self.snapshots.lock().take(&live.twin, label) {
+            Ok(snapshot) => Response::SnapshotTaken(snapshot.info()),
+            Err(message) => Response::Error { message },
+        }
+    }
+
+    fn drop_snapshot(&self, snapshot_id: u64) -> Response {
+        if self.snapshots.lock().drop_snapshot(snapshot_id) {
+            self.cache.lock().invalidate_snapshot(snapshot_id);
+            Response::Dropped { snapshot_id }
+        } else {
+            Response::Error { message: format!("unknown snapshot {snapshot_id}") }
+        }
+    }
+
+    fn resolve(&self, snapshot_id: u64) -> Result<Arc<TwinSnapshot>, Response> {
+        self.snapshots.lock().get(snapshot_id).ok_or_else(|| Response::Error {
+            message: format!("unknown snapshot {snapshot_id}"),
+        })
+    }
+
+    fn query(&self, snapshot_id: u64, spec: &WhatIfSpec) -> Response {
+        let snapshot = match self.resolve(snapshot_id) {
+            Ok(s) => s,
+            Err(r) => return r,
+        };
+        let fingerprint = scenario_fingerprint(spec);
+        if let Some(outcome) = self.cache.lock().get(snapshot_id, fingerprint) {
+            return Response::Answer { cached: true, outcome };
+        }
+        // Lock-free from here: the Arc keeps the frozen state alive and
+        // `run_whatif` is pure, so concurrent identical queries at worst
+        // compute the same answer twice.
+        match run_whatif(&snapshot, spec, self.threads) {
+            Ok(outcome) => {
+                self.cache.lock().insert(snapshot_id, fingerprint, outcome.clone());
+                Response::Answer { cached: false, outcome }
+            }
+            Err(message) => Response::Error { message },
+        }
+    }
+
+    fn query_batch(&self, snapshot_id: u64, specs: &[WhatIfSpec]) -> Response {
+        let snapshot = match self.resolve(snapshot_id) {
+            Ok(s) => s,
+            Err(r) => return r,
+        };
+        let fingerprints: Vec<u64> = specs.iter().map(scenario_fingerprint).collect();
+        let mut outcomes: Vec<Option<WhatIfOutcome>> = {
+            let mut cache = self.cache.lock();
+            fingerprints.iter().map(|&fp| cache.get(snapshot_id, fp)).collect()
+        };
+        let cached_hits = outcomes.iter().filter(|o| o.is_some()).count() as u64;
+
+        // One pool pass over the misses, outcomes gathered in spec order.
+        // Each miss gets the service pool width too: a spec with
+        // draws > 1 fans its own forks, and when the batch has fewer
+        // misses than workers those draws fill the idle slots (nested
+        // calls from an occupied pool simply run inline). Outcomes are
+        // width-invariant either way, so cache coherence is unaffected.
+        let misses: Vec<usize> =
+            (0..specs.len()).filter(|&i| outcomes[i].is_none()).collect();
+        if !misses.is_empty() {
+            let mut runner = EnsembleRunner::new(0);
+            if let Some(n) = self.threads {
+                runner = runner.threads(n);
+            }
+            let computed: Vec<(usize, Result<WhatIfOutcome, String>)> = runner
+                .map(misses, |_ctx, i| (i, run_whatif(&snapshot, &specs[i], self.threads)));
+            let mut cache = self.cache.lock();
+            for (i, result) in computed {
+                match result {
+                    Ok(outcome) => {
+                        cache.insert(snapshot_id, fingerprints[i], outcome.clone());
+                        outcomes[i] = Some(outcome);
+                    }
+                    Err(message) => {
+                        return Response::Error {
+                            message: format!("spec {i} ({}): {message}", specs[i].label),
+                        }
+                    }
+                }
+            }
+        }
+        Response::Answers {
+            cached_hits,
+            outcomes: outcomes.into_iter().map(|o| o.expect("filled above")).collect(),
+        }
+    }
+}
+
+/// The TCP front end: a bound listener ready to serve a [`TwinService`].
+pub struct TwinServer {
+    listener: TcpListener,
+    service: Arc<TwinService>,
+}
+
+impl TwinServer {
+    /// Bind to `addr` (use port 0 for an OS-assigned port, the loopback
+    /// pattern tests and the example rely on).
+    pub fn bind(service: TwinService, addr: &str) -> std::io::Result<TwinServer> {
+        Ok(TwinServer { listener: TcpListener::bind(addr)?, service: Arc::new(service) })
+    }
+
+    /// The bound address (connect [`crate::ServiceClient`] here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("bound listener has an address")
+    }
+
+    /// Serve in a background thread: one handler thread per connection,
+    /// until a [`Request::Shutdown`] arrives or the handle is shut down.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.local_addr();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let service = Arc::clone(&self.service);
+        let listener = self.listener;
+        let join = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let service = Arc::clone(&service);
+                let shutdown = Arc::clone(&accept_shutdown);
+                std::thread::spawn(move || handle_connection(stream, service, shutdown, addr));
+            }
+        });
+        ServerHandle { addr, shutdown, join: Some(join) }
+    }
+}
+
+/// One connection: alternate request/response lines until EOF or
+/// shutdown.
+fn handle_connection(
+    stream: TcpStream,
+    service: Arc<TwinService>,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let message = match read_message::<Request>(&mut reader) {
+            Ok(Some(m)) => m,
+            Ok(None) | Err(_) => return, // EOF or broken socket
+        };
+        // A request that arrives after another connection's Shutdown is
+        // refused: in-flight requests finish, new ones do not start.
+        if shutdown.load(Ordering::SeqCst) {
+            let _ = write_message(
+                &mut writer,
+                &Response::Error { message: "server is shutting down".into() },
+            );
+            return;
+        }
+        let response = match &message {
+            Ok(request) => service.handle(request),
+            Err(parse_error) => {
+                Response::Error { message: format!("malformed request: {parse_error}") }
+            }
+        };
+        let is_shutdown = matches!(response, Response::ShuttingDown);
+        if write_message(&mut writer, &response).is_err() {
+            return;
+        }
+        if is_shutdown {
+            shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the flag.
+            let _ = TcpStream::connect(addr);
+            return;
+        }
+    }
+}
+
+/// Handle to a spawned server: address + orderly shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the accept loop. Connections
+    /// already being handled finish their in-flight request.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exadigit_raps::job::Job;
+
+    fn service() -> TwinService {
+        TwinService::new(
+            TwinConfig::frontier_power_only(),
+            TelemetryFeed::synthetic(7, 1),
+            7,
+        )
+        .unwrap()
+        .with_threads(2)
+    }
+
+    #[test]
+    fn advance_ingests_the_feed() {
+        let svc = service();
+        let r = svc.handle(&Request::Advance { seconds: 1_800 });
+        let Response::Advanced { now_s, jobs_ingested } = r else {
+            panic!("unexpected {r:?}");
+        };
+        assert_eq!(now_s, 1_800);
+        assert!(jobs_ingested > 0, "a synthetic half hour has arrivals");
+        let Response::Status(status) = svc.handle(&Request::Status) else { panic!() };
+        assert_eq!(status.now_s, 1_800);
+        assert_eq!(status.jobs_ingested, jobs_ingested);
+    }
+
+    #[test]
+    fn snapshot_query_cache_flow() {
+        let svc = service();
+        svc.handle(&Request::Advance { seconds: 900 });
+        let Response::SnapshotTaken(info) =
+            svc.handle(&Request::Snapshot { label: "t900".into() })
+        else {
+            panic!()
+        };
+        assert_eq!(info.taken_at_s, 900);
+
+        let spec = WhatIfSpec { horizon_s: 600, ..WhatIfSpec::default() };
+        let q = Request::Query { snapshot_id: info.id, spec };
+        let Response::Answer { cached: false, outcome: first } = svc.handle(&q) else {
+            panic!("first ask must compute");
+        };
+        let Response::Answer { cached: true, outcome: second } = svc.handle(&q) else {
+            panic!("second ask must hit the cache");
+        };
+        assert_eq!(first, second);
+
+        // The live twin keeps moving; the snapshot's answers don't.
+        svc.handle(&Request::Advance { seconds: 900 });
+        let Response::Answer { cached: true, outcome: third } = svc.handle(&q) else {
+            panic!()
+        };
+        assert_eq!(first, third);
+    }
+
+    #[test]
+    fn batch_returns_in_spec_order_with_cache_hits() {
+        let svc = service();
+        svc.handle(&Request::Advance { seconds: 600 });
+        let Response::SnapshotTaken(info) =
+            svc.handle(&Request::Snapshot { label: "base".into() })
+        else {
+            panic!()
+        };
+        let specs = vec![
+            WhatIfSpec { label: "a".into(), horizon_s: 300, ..WhatIfSpec::default() },
+            WhatIfSpec { label: "b".into(), horizon_s: 600, ..WhatIfSpec::default() },
+            WhatIfSpec { label: "c".into(), horizon_s: 900, ..WhatIfSpec::default() },
+        ];
+        // Warm one spec through the single-query path.
+        svc.handle(&Request::Query { snapshot_id: info.id, spec: specs[1].clone() });
+        let Response::Answers { cached_hits, outcomes } =
+            svc.handle(&Request::QueryBatch { snapshot_id: info.id, specs: specs.clone() })
+        else {
+            panic!()
+        };
+        assert_eq!(cached_hits, 1);
+        assert_eq!(
+            outcomes.iter().map(|o| o.label.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b", "c"]
+        );
+        assert!(outcomes[0].to_s < outcomes[2].to_s);
+    }
+
+    #[test]
+    fn absurd_advance_is_rejected_before_taking_the_lock() {
+        let svc = service();
+        let r = svc.handle(&Request::Advance { seconds: u64::MAX });
+        assert!(matches!(r, Response::Error { .. }), "{r:?}");
+        // The live twin is untouched and the service still works.
+        let Response::Status(s) = svc.handle(&Request::Status) else { panic!() };
+        assert_eq!(s.now_s, 0);
+        assert!(matches!(
+            svc.handle(&Request::Advance { seconds: 60 }),
+            Response::Advanced { now_s: 60, .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_snapshot_is_an_error_not_a_panic() {
+        let svc = service();
+        let r = svc.handle(&Request::Query {
+            snapshot_id: 404,
+            spec: WhatIfSpec::default(),
+        });
+        assert!(matches!(r, Response::Error { .. }));
+        let r = svc.handle(&Request::DropSnapshot { snapshot_id: 404 });
+        assert!(matches!(r, Response::Error { .. }));
+    }
+
+    #[test]
+    fn dropped_snapshot_invalidates_its_cache_entries() {
+        let svc = service();
+        svc.handle(&Request::Advance { seconds: 300 });
+        let Response::SnapshotTaken(info) =
+            svc.handle(&Request::Snapshot { label: "x".into() })
+        else {
+            panic!()
+        };
+        let q = Request::Query {
+            snapshot_id: info.id,
+            spec: WhatIfSpec { horizon_s: 120, ..WhatIfSpec::default() },
+        };
+        svc.handle(&q);
+        let Response::Status(s) = svc.handle(&Request::Status) else { panic!() };
+        assert_eq!(s.cache_entries, 1);
+        svc.handle(&Request::DropSnapshot { snapshot_id: info.id });
+        let Response::Status(s) = svc.handle(&Request::Status) else { panic!() };
+        assert_eq!(s.cache_entries, 0);
+        assert!(matches!(svc.handle(&q), Response::Error { .. }));
+    }
+
+    #[test]
+    fn live_twin_accepts_out_of_band_jobs_via_feed_exhaustion() {
+        // An exhausted feed still advances (idle power accrues).
+        let svc = TwinService::new(
+            TwinConfig::frontier_power_only(),
+            TelemetryFeed::new(
+                vec![Job::new(1, "only", 64, 60, 5, 0.5, 0.5)],
+                exadigit_sim::TimeSeries::from_values(0.0, 3_600.0, vec![15.0, 15.0]),
+                120,
+            ),
+            1,
+        )
+        .unwrap();
+        svc.handle(&Request::Advance { seconds: 300 });
+        let Response::Status(s) = svc.handle(&Request::Status) else { panic!() };
+        assert_eq!(s.jobs_ingested, 1);
+        assert_eq!(s.feed_pending_jobs, 0);
+        assert_eq!(s.now_s, 300);
+    }
+}

@@ -1,0 +1,219 @@
+//! Snapshot lifecycle: freeze the live twin, fork what-ifs from it.
+//!
+//! A [`TwinSnapshot`] is a full, immutable copy of the simulation state
+//! at the second it was taken — RAPS queues and allocations, the event
+//! calendar, accumulated outputs, and the cooling backend's internal
+//! state (thermal volumes, PID integrators, staging hysteresis for the
+//! L4 plant). Taking one costs a state clone, O(running + pending
+//! jobs + plant state), *not* O(elapsed time); forking one hands back an
+//! independent [`DigitalTwin`] that advances exactly as the original
+//! would have (`DigitalTwin::fork` determinism contract).
+//!
+//! Each snapshot also carries an RNG stream base derived from the
+//! service seed and snapshot id, so stochastic queries (UQ draws) are
+//! reproducible per snapshot: fork *i* of a query always draws from
+//! `Rng::new(snapshot.seed ^ fingerprint).split(i)` regardless of pool
+//! width or arrival order.
+
+use exadigit_core::twin::DigitalTwin;
+use exadigit_sim::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A frozen copy of the live twin at one simulated second.
+pub struct TwinSnapshot {
+    /// Snapshot id (unique per service, ascending).
+    pub id: u64,
+    /// Caller-supplied label, e.g. `"noon"`.
+    pub label: String,
+    /// Simulated second (clock-elapsed) the snapshot was taken at.
+    pub taken_at_s: u64,
+    /// RNG stream base for stochastic queries branched from this
+    /// snapshot: `service_seed` split by snapshot id.
+    pub seed: u64,
+    twin: DigitalTwin,
+}
+
+impl TwinSnapshot {
+    /// Fork an independent twin from the frozen state. Advancing the
+    /// fork is bit-identical to advancing the original from the snapshot
+    /// second (the crate's determinism contract).
+    pub fn fork(&self) -> Result<DigitalTwin, String> {
+        self.twin.fork()
+    }
+
+    /// Read-only access to the frozen twin (reports, outputs).
+    pub fn twin(&self) -> &DigitalTwin {
+        &self.twin
+    }
+
+    /// The wire-facing summary of this snapshot.
+    pub fn info(&self) -> SnapshotInfo {
+        let (running, pending) = self.twin.queue_state();
+        SnapshotInfo {
+            id: self.id,
+            label: self.label.clone(),
+            taken_at_s: self.taken_at_s,
+            running_jobs: running as u64,
+            pending_jobs: pending as u64,
+        }
+    }
+}
+
+/// Wire-facing snapshot summary (the `Snapshot` / `ListSnapshots`
+/// response payload).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotInfo {
+    /// Snapshot id queries branch from.
+    pub id: u64,
+    /// Caller-supplied label.
+    pub label: String,
+    /// Simulated second the snapshot was taken at.
+    pub taken_at_s: u64,
+    /// Jobs running at the snapshot second.
+    pub running_jobs: u64,
+    /// Jobs queued at the snapshot second.
+    pub pending_jobs: u64,
+}
+
+/// The service's snapshot registry: id-keyed, capacity-bounded.
+pub struct SnapshotStore {
+    snapshots: BTreeMap<u64, Arc<TwinSnapshot>>,
+    next_id: u64,
+    max_snapshots: usize,
+    seed: u64,
+}
+
+impl SnapshotStore {
+    /// Empty store holding at most `max_snapshots` snapshots, deriving
+    /// per-snapshot RNG bases from `seed`.
+    pub fn new(max_snapshots: usize, seed: u64) -> Self {
+        SnapshotStore {
+            snapshots: BTreeMap::new(),
+            next_id: 1,
+            max_snapshots: max_snapshots.max(1),
+            seed,
+        }
+    }
+
+    /// Freeze `live` into a new snapshot. Fails when the store is full
+    /// (drop one first — eviction must be an explicit client decision,
+    /// because a snapshot may be the base of in-flight queries) or when
+    /// the twin's cooling backend cannot capture its state.
+    pub fn take(&mut self, live: &DigitalTwin, label: String) -> Result<Arc<TwinSnapshot>, String> {
+        if self.snapshots.len() >= self.max_snapshots {
+            return Err(format!(
+                "snapshot store is full ({} of {}); drop one first",
+                self.snapshots.len(),
+                self.max_snapshots
+            ));
+        }
+        let id = self.next_id;
+        let snapshot = Arc::new(TwinSnapshot {
+            id,
+            label,
+            taken_at_s: live.now(),
+            seed: {
+                let mut base = Rng::new(self.seed).split(id);
+                base.next_u64()
+            },
+            twin: live.fork()?,
+        });
+        self.next_id += 1;
+        self.snapshots.insert(id, Arc::clone(&snapshot));
+        Ok(snapshot)
+    }
+
+    /// Look up a snapshot by id (an `Arc` clone, so queries keep the
+    /// frozen state alive even across a concurrent drop).
+    pub fn get(&self, id: u64) -> Option<Arc<TwinSnapshot>> {
+        self.snapshots.get(&id).cloned()
+    }
+
+    /// Drop a snapshot. In-flight queries holding the `Arc` finish
+    /// unaffected; the id simply stops resolving.
+    pub fn drop_snapshot(&mut self, id: u64) -> bool {
+        self.snapshots.remove(&id).is_some()
+    }
+
+    /// Summaries of every held snapshot, ascending id.
+    pub fn list(&self) -> Vec<SnapshotInfo> {
+        self.snapshots.values().map(|s| s.info()).collect()
+    }
+
+    /// Number of held snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// True when no snapshot is held.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// The service seed snapshot RNG bases derive from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exadigit_core::config::TwinConfig;
+
+    fn live_twin() -> DigitalTwin {
+        let mut twin = DigitalTwin::new(TwinConfig::frontier_power_only()).unwrap();
+        twin.submit(vec![exadigit_raps::job::Job::new(1, "j", 128, 600, 5, 0.6, 0.6)]);
+        twin.run(60).unwrap();
+        twin
+    }
+
+    #[test]
+    fn take_fork_drop_lifecycle() {
+        let mut store = SnapshotStore::new(4, 7);
+        let live = live_twin();
+        let snap = store.take(&live, "t60".into()).unwrap();
+        assert_eq!(snap.id, 1);
+        assert_eq!(snap.taken_at_s, 60);
+        assert_eq!(snap.info().running_jobs, 1);
+        let mut fork = snap.fork().unwrap();
+        fork.run(600).unwrap();
+        assert_eq!(fork.report().jobs_completed, 1);
+        // The frozen state is unaffected by the fork's progress.
+        assert_eq!(snap.twin().now(), 60);
+        assert!(store.drop_snapshot(1));
+        assert!(!store.drop_snapshot(1));
+        assert!(store.get(1).is_none());
+    }
+
+    #[test]
+    fn store_capacity_is_enforced() {
+        let mut store = SnapshotStore::new(2, 0);
+        let live = live_twin();
+        store.take(&live, "a".into()).unwrap();
+        store.take(&live, "b".into()).unwrap();
+        let err = match store.take(&live, "c".into()) {
+            Err(e) => e,
+            Ok(_) => panic!("store must refuse a third snapshot"),
+        };
+        assert!(err.contains("full"), "{err}");
+        store.drop_snapshot(1);
+        // Ids keep ascending after a drop.
+        assert_eq!(store.take(&live, "c".into()).unwrap().id, 3);
+        assert_eq!(store.list().iter().map(|s| s.id).collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn snapshot_seeds_differ_but_are_reproducible() {
+        let mut s1 = SnapshotStore::new(8, 42);
+        let mut s2 = SnapshotStore::new(8, 42);
+        let live = live_twin();
+        let a1 = s1.take(&live, "a".into()).unwrap();
+        let b1 = s1.take(&live, "b".into()).unwrap();
+        let a2 = s2.take(&live, "a".into()).unwrap();
+        assert_eq!(a1.seed, a2.seed, "same service seed + id ⇒ same stream base");
+        assert_ne!(a1.seed, b1.seed, "snapshots get distinct stream bases");
+    }
+}

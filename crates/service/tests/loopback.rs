@@ -1,0 +1,146 @@
+//! End-to-end loopback: a real TCP server, concurrent clients, the full
+//! snapshot → fork → query → cache lifecycle over the wire.
+
+use exadigit_core::config::TwinConfig;
+use exadigit_service::{
+    Request, Response, ServiceClient, TelemetryFeed, TwinServer, TwinService, WhatIfSpec,
+};
+
+fn spawn_server() -> exadigit_service::ServerHandle {
+    let service = TwinService::new(
+        TwinConfig::frontier_power_only(),
+        TelemetryFeed::synthetic(123, 1),
+        123,
+    )
+    .unwrap()
+    .with_threads(2);
+    TwinServer::bind(service, "127.0.0.1:0").unwrap().spawn()
+}
+
+#[test]
+fn full_lifecycle_over_tcp() {
+    let handle = spawn_server();
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+
+    // Ingest one synthetic hour.
+    let r = client.request(&Request::Advance { seconds: 3_600 }).unwrap();
+    let Response::Advanced { now_s, jobs_ingested } = r else { panic!("{r:?}") };
+    assert_eq!(now_s, 3_600);
+    assert!(jobs_ingested > 0);
+
+    // Snapshot, then query it twice: compute once, hit the cache once.
+    let Response::SnapshotTaken(info) =
+        client.request(&Request::Snapshot { label: "t1h".into() }).unwrap()
+    else {
+        panic!()
+    };
+    let query = Request::Query {
+        snapshot_id: info.id,
+        spec: WhatIfSpec { horizon_s: 900, ..WhatIfSpec::default() },
+    };
+    let Response::Answer { cached: false, outcome: first } =
+        client.request(&query).unwrap()
+    else {
+        panic!("first ask computes")
+    };
+    let Response::Answer { cached: true, outcome: second } =
+        client.request(&query).unwrap()
+    else {
+        panic!("second ask hits the cache")
+    };
+    assert_eq!(first, second);
+
+    // Listing sees the snapshot; dropping it frees the id.
+    let Response::Snapshots(list) = client.request(&Request::ListSnapshots).unwrap() else {
+        panic!()
+    };
+    assert_eq!(list.len(), 1);
+    let Response::Dropped { snapshot_id } =
+        client.request(&Request::DropSnapshot { snapshot_id: info.id }).unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(snapshot_id, info.id);
+
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_get_identical_deterministic_answers() {
+    let handle = spawn_server();
+    let addr = handle.addr();
+
+    {
+        let mut setup = ServiceClient::connect(addr).unwrap();
+        setup.request(&Request::Advance { seconds: 1_800 }).unwrap();
+        let Response::SnapshotTaken(info) =
+            setup.request(&Request::Snapshot { label: "base".into() }).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(info.id, 1);
+    }
+
+    // Three clients ask the same three questions concurrently.
+    let specs = |i: u64| WhatIfSpec {
+        label: format!("q{i}"),
+        horizon_s: 600 + 300 * i,
+        ..WhatIfSpec::default()
+    };
+    let workers: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::connect(addr).unwrap();
+                (0..3u64)
+                    .map(|i| {
+                        let r = client
+                            .request(&Request::Query { snapshot_id: 1, spec: specs(i) })
+                            .unwrap();
+                        match r {
+                            Response::Answer { outcome, .. } => outcome,
+                            other => panic!("{other:?}"),
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let results: Vec<_> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    assert_eq!(results[0], results[1], "concurrent clients must agree");
+    assert_eq!(results[1], results[2]);
+    assert!(results[0][0].to_s < results[0][2].to_s);
+
+    handle.shutdown();
+}
+
+#[test]
+fn malformed_lines_answer_errors_without_dropping_the_connection() {
+    use std::io::{BufRead, BufReader, Write};
+    let handle = spawn_server();
+    let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+
+    writer.write_all(b"{not json}\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("Error"), "{line}");
+
+    // The connection is still usable afterwards.
+    writer.write_all(b"\"Status\"\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("Status"), "{line}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_request_stops_the_server() {
+    let handle = spawn_server();
+    let addr = handle.addr();
+    let mut client = ServiceClient::connect(addr).unwrap();
+    let r = client.request(&Request::Shutdown).unwrap();
+    assert_eq!(r, Response::ShuttingDown);
+    handle.shutdown(); // idempotent: joins the already-stopping accept loop
+}

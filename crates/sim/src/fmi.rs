@@ -81,7 +81,12 @@ impl std::error::Error for FmiError {}
 
 /// A co-simulation model ("FMU-like"): the contract RAPS uses to talk to the
 /// cooling plant, and that the master algorithm in [`crate::master`] drives.
-pub trait CoSimModel {
+///
+/// `Send + Sync` is part of the contract: models are plain state machines
+/// (no interior mutability across `&self`), which is what lets a snapshot
+/// of a coupled simulation be shared between service threads and forked
+/// onto the thread pool (`docs/SERVICE.md`).
+pub trait CoSimModel: Send + Sync {
     /// Stable instance name for diagnostics.
     fn instance_name(&self) -> &str;
 
@@ -103,6 +108,21 @@ pub trait CoSimModel {
 
     /// Reset to the pre-`setup` state so the instance can be reused.
     fn reset(&mut self);
+
+    /// Duplicate the model *mid-simulation*, internal state included — the
+    /// snapshot/fork primitive behind twin-as-a-service what-if queries.
+    ///
+    /// A fork must be observationally identical to the original: stepping
+    /// both with the same inputs from the fork point yields bit-identical
+    /// outputs. Models that cannot capture their state return `None`
+    /// (the default), in which case snapshotting a simulation coupled to
+    /// them fails with an explicit error — such a twin can still run and
+    /// be queried by cold-start replay, but not through the snapshot
+    /// path. All built-in cooling backends (L4 plant, L3 surrogate,
+    /// L2 replay) support forking.
+    fn fork(&self) -> Option<Box<dyn CoSimModel>> {
+        None
+    }
 
     /// Look up a variable by exact name.
     fn var_by_name(&self, name: &str) -> Option<&VariableDescriptor> {

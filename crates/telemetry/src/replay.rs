@@ -16,12 +16,17 @@
 //! Fig. 9), and [`CoolingTrace::constant`] builds the trivial
 //! steady-state trace used by tests and quick studies.
 
-use crate::generator::TelemetryDay;
+use crate::generator::{SyntheticTwin, TelemetryDay};
+use exadigit_raps::config::NodePowerConfig;
+use exadigit_raps::job::Job;
+use exadigit_raps::workload::{WorkloadGenerator, WorkloadParams};
+use exadigit_sim::clock::SECONDS_PER_DAY;
 use exadigit_sim::fmi::{
     Causality, CoSimModel, FmiError, VarRef, VariableDescriptor, VariableRegistry,
 };
 use exadigit_sim::TimeSeries;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// One auxiliary recorded channel served by a [`ReplayCoolingModel`]
 /// (e.g. a CDU supply temperature), exposed as a read-only local
@@ -108,6 +113,7 @@ impl CoolingTrace {
 /// served from the trace, and one local variable per auxiliary channel.
 ///
 /// [`CoolingCoupling::attach`]: exadigit_raps::simulation::CoolingCoupling::attach
+#[derive(Clone)]
 pub struct ReplayCoolingModel {
     trace: CoolingTrace,
     vars: Vec<VariableDescriptor>,
@@ -213,6 +219,143 @@ impl CoSimModel for ReplayCoolingModel {
         self.values.iter_mut().for_each(|v| *v = 0.0);
         self.refresh_outputs();
     }
+
+    fn fork(&self) -> Option<Box<dyn CoSimModel>> {
+        Some(Box::new(self.clone()))
+    }
+}
+
+/// A replayable telemetry feed: the stand-in for the live stream a
+/// persistent twin ingests (`docs/SERVICE.md`).
+///
+/// A real deployment would subscribe to the paper's §III-B streaming
+/// pipeline; here the same interface is served from recorded or synthetic
+/// telemetry so the service layer can be driven deterministically. The
+/// feed hands out job submissions in timed batches ([`TelemetryFeed::poll`]
+/// — everything submitted up to the requested second, exactly once) and
+/// carries the wet-bulb forcing plus, when lifted from a recorded day, the
+/// measured cooling trace for an L2 replay backend.
+#[derive(Debug, Clone)]
+pub struct TelemetryFeed {
+    /// Not-yet-delivered jobs, ascending submit time.
+    jobs: VecDeque<Job>,
+    /// Wet-bulb forcing over the feed's span, °C.
+    wet_bulb: TimeSeries,
+    /// Measured cooling channels, when the feed wraps recorded telemetry.
+    cooling: Option<CoolingTrace>,
+    /// Feed time: everything at or before this second has been delivered.
+    delivered_through_s: u64,
+    /// Total seconds of telemetry the feed carries.
+    span_s: u64,
+}
+
+impl TelemetryFeed {
+    /// Feed from an explicit job list and wet-bulb forcing covering
+    /// `span_s` seconds. Jobs are delivered in submit order.
+    pub fn new(mut jobs: Vec<Job>, wet_bulb: TimeSeries, span_s: u64) -> Self {
+        jobs.sort_by_key(|j| j.submit_time_s);
+        TelemetryFeed {
+            jobs: jobs.into(),
+            wet_bulb,
+            cooling: None,
+            delivered_through_s: 0,
+            span_s,
+        }
+    }
+
+    /// Attach a recorded cooling trace (builder style) so consumers can
+    /// run an L2 replay backend against the same feed.
+    pub fn with_cooling_trace(mut self, trace: CoolingTrace) -> Self {
+        self.cooling = Some(trace);
+        self
+    }
+
+    /// Lift one recorded telemetry day into a feed: job records become
+    /// replayable jobs (trace-level utilization via `power` inversion),
+    /// the measured wet-bulb rides along as forcing, and the measured
+    /// cooling channels become the feed's [`CoolingTrace`]. The span is
+    /// whatever the recording covered (the 1 s measured-power channel's
+    /// length), so `record_span` slices shorter than a day are honest.
+    pub fn from_day(day: &TelemetryDay, power: &NodePowerConfig) -> Self {
+        let jobs: Vec<Job> = day.jobs.iter().map(|rec| rec.to_job(power)).collect();
+        let span_s = day.measured_power_w.values.len() as u64;
+        TelemetryFeed::new(jobs, day.wet_bulb.clone(), span_s)
+            .with_cooling_trace(CoolingTrace::from_telemetry(day))
+    }
+
+    /// A synthetic multi-day feed: the default workload model's job stream
+    /// over `days` days plus the synthetic twin's diurnal wet-bulb
+    /// profile, all derived deterministically from `seed`. This is the
+    /// cheap stand-in `examples/twin_service.rs` and the service tests
+    /// ingest — no physical-twin recording pass required.
+    pub fn synthetic(seed: u64, days: u64) -> Self {
+        let mut gen = WorkloadGenerator::new(WorkloadParams::default(), seed);
+        let jobs = gen.generate_span(days.max(1));
+        let twin = SyntheticTwin::frontier();
+        // Concatenate per-day wet-bulb profiles (60 s cadence) into one
+        // span-long forcing; drop each day's duplicated midnight sample.
+        let mut wet_bulb = TimeSeries::with_capacity(0.0, 60.0, (days.max(1) * 1440 + 1) as usize);
+        for day in 0..days.max(1) {
+            let profile = twin.wet_bulb_day(day);
+            let take = if day + 1 == days.max(1) { profile.values.len() } else { 1440 };
+            for &v in &profile.values[..take] {
+                wet_bulb.push(v);
+            }
+        }
+        TelemetryFeed::new(jobs, wet_bulb, days.max(1) * SECONDS_PER_DAY)
+    }
+
+    /// Deliver every job submitted at or before `until_s` that has not
+    /// been delivered yet. Monotone: the feed never rewinds, and each job
+    /// is handed out exactly once.
+    pub fn poll(&mut self, until_s: u64) -> Vec<Job> {
+        let mut out = Vec::new();
+        while let Some(front) = self.jobs.front() {
+            if front.submit_time_s <= until_s {
+                out.push(self.jobs.pop_front().expect("peeked"));
+            } else {
+                break;
+            }
+        }
+        self.delivered_through_s = self.delivered_through_s.max(until_s);
+        out
+    }
+
+    /// The wet-bulb forcing over the feed's span.
+    pub fn wet_bulb(&self) -> &TimeSeries {
+        &self.wet_bulb
+    }
+
+    /// The measured cooling trace, when the feed wraps recorded telemetry.
+    pub fn cooling_trace(&self) -> Option<&CoolingTrace> {
+        self.cooling.as_ref()
+    }
+
+    /// Jobs not yet delivered.
+    pub fn pending_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Submit second of the next undelivered job.
+    pub fn next_submit_s(&self) -> Option<u64> {
+        self.jobs.front().map(|j| j.submit_time_s)
+    }
+
+    /// Feed time: everything at or before this second has been delivered.
+    pub fn delivered_through_s(&self) -> u64 {
+        self.delivered_through_s
+    }
+
+    /// Total seconds of telemetry the feed carries.
+    pub fn span_s(&self) -> u64 {
+        self.span_s
+    }
+
+    /// True once every job has been delivered and the feed time has
+    /// reached the end of the span.
+    pub fn exhausted(&self) -> bool {
+        self.jobs.is_empty() && self.delivered_through_s >= self.span_s
+    }
 }
 
 #[cfg(test)]
@@ -306,6 +449,57 @@ mod tests {
         let json = serde_json::to_string(&trace).unwrap();
         let back: CoolingTrace = serde_json::from_str(&json).unwrap();
         assert_eq!(trace, back);
+    }
+
+    #[test]
+    fn feed_delivers_jobs_once_in_submit_order() {
+        let jobs = vec![
+            Job::new(3, "c", 8, 60, 300, 0.5, 0.5),
+            Job::new(1, "a", 8, 60, 10, 0.5, 0.5),
+            Job::new(2, "b", 8, 60, 120, 0.5, 0.5),
+        ];
+        let wb = TimeSeries::from_values(0.0, 3600.0, vec![15.0, 15.0]);
+        let mut feed = TelemetryFeed::new(jobs, wb, 3600);
+        assert_eq!(feed.pending_jobs(), 3);
+        assert_eq!(feed.next_submit_s(), Some(10));
+        let first = feed.poll(120);
+        assert_eq!(first.iter().map(|j| j.id.0).collect::<Vec<_>>(), vec![1, 2]);
+        assert!(feed.poll(120).is_empty(), "polling the same window re-delivers nothing");
+        let rest = feed.poll(3600);
+        assert_eq!(rest.len(), 1);
+        assert!(feed.exhausted());
+    }
+
+    #[test]
+    fn synthetic_feed_is_deterministic_and_spans_days() {
+        let a = TelemetryFeed::synthetic(42, 2);
+        let b = TelemetryFeed::synthetic(42, 2);
+        assert_eq!(a.pending_jobs(), b.pending_jobs());
+        assert_eq!(a.wet_bulb().values, b.wet_bulb().values);
+        assert_eq!(a.span_s(), 2 * SECONDS_PER_DAY);
+        // The forcing covers the whole span at 60 s cadence.
+        assert!(a.wet_bulb().end_time().unwrap() >= (2 * SECONDS_PER_DAY) as f64 - 60.0);
+        assert!(a.pending_jobs() > 100, "a synthetic day has hundreds of jobs");
+        // Jobs fall inside the span.
+        let mut feed = a.clone();
+        let jobs = feed.poll(2 * SECONDS_PER_DAY);
+        assert!(jobs.iter().all(|j| j.submit_time_s < 2 * SECONDS_PER_DAY));
+        assert!(feed.exhausted());
+    }
+
+    #[test]
+    fn feed_from_day_carries_cooling_trace() {
+        use exadigit_raps::job::Job;
+        let twin = crate::generator::SyntheticTwin::frontier();
+        let day = twin.record_span(vec![Job::new(1, "j", 64, 120, 5, 0.5, 0.5)], 120, 0);
+        let feed = TelemetryFeed::from_day(&day, &twin.nominal_system.node_power);
+        assert!(feed.cooling_trace().is_some());
+        assert_eq!(feed.pending_jobs(), day.jobs.len());
+        // The span is what the recording covered, not a hardcoded day.
+        assert_eq!(feed.span_s(), 120);
+        let mut feed = feed;
+        feed.poll(120);
+        assert!(feed.exhausted());
     }
 
     #[test]

@@ -2,4 +2,6 @@
 //! `exadigit::DigitalTwin` works, and hosts the workspace-level
 //! integration tests (`tests/`) and examples (`examples/`).
 
+#![warn(missing_docs)]
+
 pub use exadigit_core::*;

@@ -1,0 +1,177 @@
+//! Fork determinism: the contract the service layer's snapshot/fork
+//! primitive rests on.
+//!
+//! `fork(snapshot at t).run_until(t + h)` must be `f64::to_bits`-identical
+//! to a fresh run to `t + h` — same recorded series, same energy bits,
+//! same pool state, same completions — across every scheduler policy, and
+//! regardless of the pool width the forks are fanned out at. Two forks of
+//! the same snapshot must also be bit-identical to each other (a cached
+//! answer is only sound if recomputing it is pointless).
+//!
+//! One deliberate precision note: the fresh reference is advanced with
+//! the same `run_until(t)`-then-`run_until(t + h)` call sequence as the
+//! forked path. Pausing at `t` splits any steady-state gap spanning `t`
+//! into two closed-form energy additions (`a·P + b·P` instead of
+//! `(a+b)·P`), so a *single-call* run to `t + h` can differ in
+//! `energy_j` by float associativity — about one ULP — while every
+//! recorded series stays bit-identical (series sample the held power
+//! snapshot, which gap splitting cannot change). The single-call
+//! comparison is pinned separately at bit level for the series and at
+//! 1e-12 relative for energy.
+
+use exadigit_raps::config::{PartitionConfig, SystemConfig};
+use exadigit_raps::job::Job;
+use exadigit_raps::power::PowerDelivery;
+use exadigit_raps::scheduler::Policy;
+use exadigit_raps::simulation::RapsSimulation;
+use exadigit_sim::ensemble::EnsembleRunner;
+use proptest::prelude::*;
+
+const POLICIES: [Policy; 4] =
+    [Policy::Fcfs, Policy::Sjf, Policy::FirstFit, Policy::EasyBackfill];
+
+fn small_config(nodes: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::frontier();
+    cfg.partitions = vec![PartitionConfig { name: "batch".into(), nodes, gpus_per_node: 4 }];
+    cfg
+}
+
+fn sim(policy: Policy) -> RapsSimulation {
+    RapsSimulation::new(small_config(96), PowerDelivery::StandardAC, policy, 15)
+}
+
+/// Everything the equivalence compares, all at bit level.
+fn state_digest(s: &RapsSimulation) -> (Vec<u64>, Vec<u64>, u64, u64, usize, usize) {
+    let out = s.outputs();
+    (
+        out.system_power_w.values.iter().map(|v| v.to_bits()).collect(),
+        out.utilization.values.iter().map(|v| v.to_bits()).collect(),
+        out.energy_j.to_bits(),
+        s.report().jobs_completed,
+        s.running_count(),
+        s.pending_count(),
+    )
+}
+
+fn arbitrary_jobs() -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec(
+        (1usize..=96, 30u64..2_400, 0u64..1_200, 0.0f32..1.0, 0.0f32..1.0),
+        1..24,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (nodes, wall, submit, cu, gu))| {
+                Job::new(i as u64, format!("j{i}"), nodes, wall, submit, cu, gu)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline invariant, for every policy and at pool widths 1 and
+    /// 4: a mid-run fork continued to the horizon is bit-identical to a
+    /// fresh uninterrupted run, and two forks of one snapshot agree.
+    #[test]
+    fn fork_equals_fresh_run_across_policies_and_widths(
+        jobs in arbitrary_jobs(),
+        fork_at in 60u64..2_000,
+        horizon in 60u64..2_400,
+    ) {
+        for policy in POLICIES {
+            let target = fork_at + horizon;
+
+            // Fresh reference, advanced with the same call sequence as
+            // the forked path (see the module docs on why the pause
+            // point is part of the energy-bit contract).
+            let mut fresh = sim(policy);
+            fresh.submit_jobs(jobs.clone());
+            fresh.run_until(fork_at).unwrap();
+            fresh.run_until(target).unwrap();
+            let reference = state_digest(&fresh);
+
+            // A single-call run only differs in the energy sum's
+            // association, never in any recorded sample.
+            let mut single = sim(policy);
+            single.submit_jobs(jobs.clone());
+            single.run_until(target).unwrap();
+            let one_call = state_digest(&single);
+            prop_assert_eq!(&one_call.0, &reference.0, "series must not see the pause");
+            prop_assert_eq!(&one_call.1, &reference.1);
+            let (ea, eb) = (f64::from_bits(one_call.2), f64::from_bits(reference.2));
+            prop_assert!(
+                (ea - eb).abs() <= 1e-12 * ea.abs().max(1.0),
+                "energy beyond associativity: {} vs {}", ea, eb
+            );
+
+            // Snapshot at `fork_at`, then fan two forks per pool width.
+            let mut live = sim(policy);
+            live.submit_jobs(jobs.clone());
+            live.run_until(fork_at).unwrap();
+
+            for width in [1usize, 4] {
+                let digests = EnsembleRunner::new(0).threads(width).map(
+                    vec![(), ()],
+                    |_ctx, ()| {
+                        let mut fork = live.fork().unwrap();
+                        fork.run_until(target).unwrap();
+                        state_digest(&fork)
+                    },
+                );
+                prop_assert_eq!(
+                    &digests[0], &reference,
+                    "policy {:?}, width {}: fork diverged from fresh run", policy, width
+                );
+                prop_assert_eq!(
+                    &digests[0], &digests[1],
+                    "policy {:?}, width {}: two forks of one snapshot diverged", policy, width
+                );
+            }
+
+            // The snapshot source itself is untouched by the forks.
+            prop_assert_eq!(live.now(), fork_at);
+        }
+    }
+}
+
+/// Golden pin on the full Frontier system with a day-scale workload: the
+/// fork seam lands in the middle of live queues, running jobs, and
+/// pending events, and the continuation must not notice.
+#[test]
+fn fork_golden_frontier_day_slice() {
+    let build = || {
+        let mut s = RapsSimulation::new(
+            SystemConfig::frontier(),
+            PowerDelivery::StandardAC,
+            Policy::EasyBackfill,
+            15,
+        );
+        let mut gen = exadigit_raps::workload::WorkloadGenerator::new(
+            exadigit_raps::workload::WorkloadParams::default(),
+            2024,
+        );
+        s.submit_jobs(gen.generate_day(0));
+        s
+    };
+
+    let mut fresh = build();
+    fresh.run_until(5_000).unwrap(); // same call sequence as the forked path
+    fresh.run_until(14_400).unwrap();
+
+    let mut live = build();
+    live.run_until(5_000).unwrap(); // mid-queue, off the 15 s grid
+    let mut fork = live.fork().unwrap();
+    fork.run_until(14_400).unwrap();
+
+    assert_eq!(fresh.report(), fork.report());
+    assert_eq!(fresh.pool(), fork.pool());
+    let (a, b) = (&fresh.outputs().system_power_w.values, &fork.outputs().system_power_w.values);
+    assert_eq!(a.len(), b.len());
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "power sample {i} diverged");
+    }
+    assert_eq!(fresh.outputs().energy_j.to_bits(), fork.outputs().energy_j.to_bits());
+}
