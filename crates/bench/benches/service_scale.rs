@@ -1,0 +1,232 @@
+//! Serving-tier scale: hundreds of concurrent loopback clients against
+//! the bounded worker pool.
+//!
+//! The serving-tier acceptance criterion (`docs/SERVICE.md` § "Serving
+//! tier"): the server must sustain **≥ 128 concurrent clients** with a
+//! fixed worker count (no thread-per-connection), answer over-capacity
+//! load with `Busy` backpressure instead of unbounded queueing, and
+//! keep cached outcomes bit-identical to uncached ones. This bench
+//! drives that shape directly — a mixed Query / QueryBatch / Advance /
+//! Status workload from `EXADIGIT_SCALE_CLIENTS` threads (default 128,
+//! `EXADIGIT_SCALE_REQUESTS` requests each) — and reports throughput
+//! plus client-observed p50/p99 latency, then storms a deliberately
+//! tiny pool to measure the admission-control refusal rate. Baseline:
+//! `BENCH_service_scale.json`.
+//!
+//! Not a criterion harness: latency percentiles need every sample, not
+//! a mean, so the bench owns its own measurement loop.
+
+use exadigit_core::config::TwinConfig;
+use exadigit_service::{
+    Request, Response, ServiceClient, TelemetryFeed, TwinServer, TwinService, WhatIfSpec,
+};
+use std::time::{Duration, Instant};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn service() -> TwinService {
+    TwinService::new(
+        TwinConfig::frontier_power_only(),
+        TelemetryFeed::synthetic(2024, 1),
+        2024,
+    )
+    .expect("frontier config is valid")
+    .with_threads(2)
+}
+
+/// The mixed request stream client `i` sends at step `j`: mostly
+/// queries over a small working set (cache-friendly, like operators
+/// re-asking the hot questions), plus batches, status probes, and
+/// occasional one-second ingest ticks.
+fn request_for(snapshot_id: u64, i: usize, j: usize) -> Request {
+    let spec = |k: usize| WhatIfSpec {
+        label: format!("scale{k}"),
+        horizon_s: 600 + 300 * (k as u64 % 8),
+        ..WhatIfSpec::default()
+    };
+    match (i + j) % 8 {
+        0 => Request::Status,
+        1 => Request::QueryBatch {
+            snapshot_id,
+            specs: (0..3).map(|k| spec((i + j + k) % 8)).collect(),
+        },
+        2 if i.is_multiple_of(16) => Request::Advance { seconds: 1 },
+        k => Request::Query { snapshot_id, spec: spec(k) },
+    }
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[rank]
+}
+
+struct ClientReport {
+    latencies_ns: Vec<u64>,
+    busy_retries: u64,
+}
+
+fn main() {
+    let clients = env_usize("EXADIGIT_SCALE_CLIENTS", 128);
+    let requests = env_usize("EXADIGIT_SCALE_REQUESTS", 16);
+
+    // ---- Phase 1: sustained mixed load on the default-sized pool ----
+    let handle = TwinServer::bind(service(), "127.0.0.1:0")
+        .expect("bind loopback")
+        .with_workers(4)
+        .with_queue_depth(256)
+        .spawn();
+    let addr = handle.addr();
+    let mut setup = ServiceClient::connect(addr).expect("connect");
+    setup.request(&Request::Advance { seconds: 43_200 }).expect("advance to noon");
+    let Response::SnapshotTaken(info) =
+        setup.request(&Request::Snapshot { label: "noon".into() }).expect("snapshot")
+    else {
+        panic!("unexpected response to Snapshot")
+    };
+    // Warm the working set so the steady state measures the serving
+    // tier, not eight first-compute forks.
+    for k in 0..8 {
+        setup
+            .request(&Request::Query {
+                snapshot_id: info.id,
+                spec: WhatIfSpec {
+                    label: format!("scale{k}"),
+                    horizon_s: 600 + 300 * (k % 8),
+                    ..WhatIfSpec::default()
+                },
+            })
+            .expect("warm");
+    }
+
+    let wall = Instant::now();
+    let reports: Vec<ClientReport> = {
+        let threads: Vec<_> = (0..clients)
+            .map(|i| {
+                let snapshot_id = info.id;
+                std::thread::spawn(move || {
+                    let mut client = ServiceClient::connect(addr).expect("client connect");
+                    let mut report =
+                        ClientReport { latencies_ns: Vec::with_capacity(requests), busy_retries: 0 };
+                    for j in 0..requests {
+                        let request = request_for(snapshot_id, i, j);
+                        let t0 = Instant::now();
+                        loop {
+                            match client.request(&request).expect("request") {
+                                Response::Busy { retry_after_ms } => {
+                                    report.busy_retries += 1;
+                                    std::thread::sleep(Duration::from_millis(
+                                        retry_after_ms.clamp(1, 100),
+                                    ));
+                                }
+                                Response::Error { message } => panic!("server error: {message}"),
+                                _ => break,
+                            }
+                        }
+                        // Latency as the client saw it, retries included.
+                        report.latencies_ns.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    report
+                })
+            })
+            .collect();
+        threads.into_iter().map(|t| t.join().expect("client thread")).collect()
+    };
+    let elapsed = wall.elapsed();
+    handle.shutdown();
+
+    let mut latencies: Vec<u64> =
+        reports.iter().flat_map(|r| r.latencies_ns.iter().copied()).collect();
+    latencies.sort_unstable();
+    let total_requests = latencies.len();
+    let busy_retries: u64 = reports.iter().map(|r| r.busy_retries).sum();
+    let throughput = total_requests as f64 / elapsed.as_secs_f64();
+    let p50_us = percentile(&latencies, 0.50) as f64 / 1e3;
+    let p99_us = percentile(&latencies, 0.99) as f64 / 1e3;
+
+    println!("service_scale/sustained");
+    println!("  clients                {clients}");
+    println!("  requests               {total_requests} ({requests} per client, mixed Query/QueryBatch/Advance/Status)");
+    println!("  workers                4 (+2 readers; no thread-per-connection)");
+    println!("  wall time              {:.3} s", elapsed.as_secs_f64());
+    println!("  throughput             {throughput:.0} req/s");
+    println!("  latency p50            {p50_us:.1} µs");
+    println!("  latency p99            {p99_us:.1} µs");
+    println!("  busy retries           {busy_retries}");
+
+    // ---- Phase 2: over-capacity storm on a deliberately tiny pool ----
+    // Every client fires its requests as fast as it can at 1 worker and
+    // a depth-2 queue; admission control must refuse (not queue) the
+    // excess, and every refusal must converge through retry.
+    let handle = TwinServer::bind(service(), "127.0.0.1:0")
+        .expect("bind loopback")
+        .with_workers(1)
+        .with_queue_depth(2)
+        .spawn();
+    let addr = handle.addr();
+    let mut setup = ServiceClient::connect(addr).expect("connect");
+    setup.request(&Request::Advance { seconds: 3_600 }).expect("advance");
+    let Response::SnapshotTaken(storm_info) =
+        setup.request(&Request::Snapshot { label: "storm".into() }).expect("snapshot")
+    else {
+        panic!("unexpected response to Snapshot")
+    };
+    let storm_clients = clients.min(64);
+    let storm_requests = 4;
+    let storm_reports: Vec<(u64, u64)> = {
+        let threads: Vec<_> = (0..storm_clients)
+            .map(|i| {
+                let snapshot_id = storm_info.id;
+                std::thread::spawn(move || {
+                    let mut client = ServiceClient::connect(addr).expect("storm connect");
+                    let mut answered = 0u64;
+                    let mut busy = 0u64;
+                    for j in 0..storm_requests {
+                        let spec = WhatIfSpec {
+                            label: format!("storm{}", (i + j) % 4),
+                            horizon_s: 900 + 60 * ((i + j) as u64 % 4),
+                            ..WhatIfSpec::default()
+                        };
+                        loop {
+                            match client
+                                .request(&Request::Query { snapshot_id, spec: spec.clone() })
+                                .expect("storm request")
+                            {
+                                Response::Busy { retry_after_ms } => {
+                                    busy += 1;
+                                    std::thread::sleep(Duration::from_millis(
+                                        retry_after_ms.clamp(1, 50),
+                                    ));
+                                }
+                                _ => {
+                                    answered += 1;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    (answered, busy)
+                })
+            })
+            .collect();
+        threads.into_iter().map(|t| t.join().expect("storm thread")).collect()
+    };
+    handle.shutdown();
+
+    let answered: u64 = storm_reports.iter().map(|r| r.0).sum();
+    let refused: u64 = storm_reports.iter().map(|r| r.1).sum();
+    println!("service_scale/storm");
+    println!("  clients                {storm_clients} (workers 1, queue depth 2)");
+    println!("  answered               {answered}");
+    println!("  busy refusals          {refused}");
+    assert_eq!(
+        answered,
+        (storm_clients * storm_requests) as u64,
+        "every storm request must converge through retry"
+    );
+    assert!(refused > 0, "an over-capacity storm must see Busy backpressure");
+}

@@ -13,10 +13,15 @@
 //! included — fingerprint differently; the label is deliberately part
 //! of the key so that a re-labelled scenario reads as a new question
 //! rather than silently aliasing an old answer.
+//!
+//! Eviction is **LRU with a byte budget**: a hit promotes its entry to
+//! most-recently-used, and inserting evicts least-recently-used entries
+//! until both the entry cap and the byte budget ([`outcome_bytes`] per
+//! entry) hold. Under a hot working set this keeps the scenarios
+//! clients actually re-ask, where the old FIFO evicted them on a clock.
 
 use crate::query::{WhatIfOutcome, WhatIfSpec};
-use std::collections::HashMap;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, HashMap};
 
 /// FNV-1a 64-bit over a byte string.
 fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -35,34 +40,72 @@ pub fn scenario_fingerprint(spec: &WhatIfSpec) -> u64 {
     fnv1a64(json.as_bytes())
 }
 
-/// A bounded FIFO memo of query outcomes.
+/// Approximate resident size of one memoised outcome, the unit the
+/// byte budget meters: the struct itself plus its heap (label) bytes.
+pub fn outcome_bytes(outcome: &WhatIfOutcome) -> usize {
+    std::mem::size_of::<WhatIfOutcome>() + outcome.label.len()
+}
+
+/// Default byte budget: generous next to the default 1024-entry cap
+/// (outcomes are ~150 B), so entry count governs unless labels balloon.
+const DEFAULT_BYTE_BUDGET: usize = 16 * 1024 * 1024;
+
+struct CacheEntry {
+    outcome: WhatIfOutcome,
+    bytes: usize,
+    /// Recency stamp; also the entry's key in the LRU index.
+    tick: u64,
+}
+
+/// A bounded LRU memo of query outcomes (promote-on-hit, byte-budgeted
+/// eviction).
 pub struct QueryCache {
-    map: HashMap<(u64, u64), WhatIfOutcome>,
-    /// Insertion order for FIFO eviction.
-    order: VecDeque<(u64, u64)>,
+    map: HashMap<(u64, u64), CacheEntry>,
+    /// Recency index: ascending tick = least- to most-recently used.
+    lru: BTreeMap<u64, (u64, u64)>,
+    tick: u64,
     capacity: usize,
+    byte_budget: usize,
+    total_bytes: usize,
     hits: u64,
     misses: u64,
 }
 
 impl QueryCache {
-    /// Cache holding at most `capacity` outcomes (oldest evicted first).
+    /// Cache holding at most `capacity` outcomes (least-recently-used
+    /// evicted first) under the default byte budget.
     pub fn new(capacity: usize) -> Self {
         QueryCache {
             map: HashMap::new(),
-            order: VecDeque::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
             capacity: capacity.max(1),
+            byte_budget: DEFAULT_BYTE_BUDGET,
+            total_bytes: 0,
             hits: 0,
             misses: 0,
         }
     }
 
-    /// Look up a memoised outcome, counting the hit or miss.
+    /// Cap resident outcome bytes (builder style). An outcome larger
+    /// than the whole budget is never cached.
+    pub fn with_byte_budget(mut self, bytes: usize) -> Self {
+        self.byte_budget = bytes.max(1);
+        self.evict_to_fit(0);
+        self
+    }
+
+    /// Look up a memoised outcome, counting the hit or miss. A hit
+    /// promotes the entry to most-recently-used.
     pub fn get(&mut self, snapshot_id: u64, fingerprint: u64) -> Option<WhatIfOutcome> {
-        match self.map.get(&(snapshot_id, fingerprint)) {
-            Some(out) => {
+        match self.map.get_mut(&(snapshot_id, fingerprint)) {
+            Some(entry) => {
                 self.hits += 1;
-                Some(out.clone())
+                self.lru.remove(&entry.tick);
+                self.tick += 1;
+                entry.tick = self.tick;
+                self.lru.insert(self.tick, (snapshot_id, fingerprint));
+                Some(entry.outcome.clone())
             }
             None => {
                 self.misses += 1;
@@ -71,15 +114,34 @@ impl QueryCache {
         }
     }
 
-    /// Memoise an outcome, evicting the oldest entry at capacity.
+    /// Memoise an outcome, evicting least-recently-used entries until
+    /// the entry cap and the byte budget both hold.
     pub fn insert(&mut self, snapshot_id: u64, fingerprint: u64, outcome: WhatIfOutcome) {
         let key = (snapshot_id, fingerprint);
-        if self.map.insert(key, outcome).is_none() {
-            self.order.push_back(key);
-            while self.order.len() > self.capacity {
-                if let Some(oldest) = self.order.pop_front() {
-                    self.map.remove(&oldest);
-                }
+        let bytes = outcome_bytes(&outcome);
+        if bytes > self.byte_budget {
+            // Caching it would evict everything else and still overflow.
+            return;
+        }
+        if let Some(old) = self.map.remove(&key) {
+            self.lru.remove(&old.tick);
+            self.total_bytes -= old.bytes;
+        }
+        self.evict_to_fit(bytes);
+        self.tick += 1;
+        self.lru.insert(self.tick, key);
+        self.total_bytes += bytes;
+        self.map.insert(key, CacheEntry { outcome, bytes, tick: self.tick });
+    }
+
+    /// Evict LRU-first until an `incoming`-byte entry fits both bounds.
+    fn evict_to_fit(&mut self, incoming: usize) {
+        let target_len = if incoming > 0 { self.capacity - 1 } else { self.capacity };
+        while self.map.len() > target_len || self.total_bytes + incoming > self.byte_budget {
+            let Some((&tick, &key)) = self.lru.iter().next() else { break };
+            self.lru.remove(&tick);
+            if let Some(entry) = self.map.remove(&key) {
+                self.total_bytes -= entry.bytes;
             }
         }
     }
@@ -88,8 +150,17 @@ impl QueryCache {
     /// snapshot is dropped — its id will never be asked again, and ids
     /// are not reused, but the memory is reclaimed eagerly).
     pub fn invalidate_snapshot(&mut self, snapshot_id: u64) {
-        self.map.retain(|&(sid, _), _| sid != snapshot_id);
-        self.order.retain(|&(sid, _)| sid != snapshot_id);
+        let dead: Vec<((u64, u64), u64, usize)> = self
+            .map
+            .iter()
+            .filter(|(&(sid, _), _)| sid == snapshot_id)
+            .map(|(&key, entry)| (key, entry.tick, entry.bytes))
+            .collect();
+        for (key, tick, bytes) in dead {
+            self.map.remove(&key);
+            self.lru.remove(&tick);
+            self.total_bytes -= bytes;
+        }
     }
 
     /// Number of memoised outcomes.
@@ -100,6 +171,21 @@ impl QueryCache {
     /// True when nothing is memoised.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Maximum number of memoised outcomes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The byte budget eviction enforces.
+    pub fn byte_budget(&self) -> usize {
+        self.byte_budget
+    }
+
+    /// Resident bytes across memoised outcomes ([`outcome_bytes`] each).
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
     }
 
     /// Lifetime (hits, misses).
@@ -139,16 +225,74 @@ mod tests {
     }
 
     #[test]
-    fn hit_miss_accounting_and_eviction() {
+    fn hit_miss_accounting_and_lru_eviction() {
         let mut cache = QueryCache::new(2);
         assert!(cache.get(1, 10).is_none());
         cache.insert(1, 10, outcome("a"));
         cache.insert(1, 20, outcome("b"));
         assert_eq!(cache.get(1, 10).unwrap().label, "a");
-        cache.insert(1, 30, outcome("c")); // evicts (1,10)
-        assert!(cache.get(1, 10).is_none(), "FIFO eviction dropped the oldest");
+        // (1,10) was just used, so inserting a third evicts (1,20).
+        cache.insert(1, 30, outcome("c"));
+        assert!(cache.get(1, 20).is_none(), "LRU eviction drops the stalest");
+        assert_eq!(cache.get(1, 10).unwrap().label, "a", "the promoted entry survives");
         assert_eq!(cache.len(), 2);
-        assert_eq!(cache.stats(), (1, 2));
+        assert_eq!(cache.stats(), (2, 2));
+    }
+
+    #[test]
+    fn promote_on_hit_reorders_eviction() {
+        let mut cache = QueryCache::new(3);
+        cache.insert(1, 10, outcome("a"));
+        cache.insert(1, 20, outcome("b"));
+        cache.insert(1, 30, outcome("c"));
+        // Touch the oldest; the middle one becomes the eviction victim.
+        assert!(cache.get(1, 10).is_some());
+        cache.insert(1, 40, outcome("d"));
+        assert!(cache.get(1, 20).is_none(), "unpromoted middle entry evicted");
+        assert!(cache.get(1, 10).is_some());
+        assert!(cache.get(1, 30).is_some());
+        assert!(cache.get(1, 40).is_some());
+    }
+
+    #[test]
+    fn byte_budget_evicts_by_size_not_count() {
+        let unit = outcome_bytes(&outcome(""));
+        // Room for two label-less outcomes plus a little slack, far
+        // under the 8-entry cap.
+        let mut cache = QueryCache::new(8).with_byte_budget(2 * unit + unit / 2);
+        cache.insert(1, 10, outcome(""));
+        cache.insert(1, 20, outcome(""));
+        assert_eq!(cache.len(), 2);
+        cache.insert(1, 30, outcome(""));
+        assert_eq!(cache.len(), 2, "third entry evicts by bytes");
+        assert!(cache.get(1, 10).is_none(), "LRU victim");
+        assert!(cache.total_bytes() <= cache.byte_budget());
+        // A big-label outcome worth two slots evicts two entries.
+        let big_label = "x".repeat(unit);
+        cache.insert(1, 40, outcome(&big_label));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(1, 40).unwrap().label.len(), unit);
+    }
+
+    #[test]
+    fn oversized_outcome_is_never_cached() {
+        let unit = outcome_bytes(&outcome(""));
+        let mut cache = QueryCache::new(8).with_byte_budget(2 * unit);
+        cache.insert(1, 10, outcome(""));
+        cache.insert(1, 20, outcome(&"y".repeat(4 * unit)));
+        assert!(cache.get(1, 20).is_none(), "over-budget outcome skipped");
+        assert!(cache.get(1, 10).is_some(), "and nothing was evicted for it");
+    }
+
+    #[test]
+    fn reinserting_a_key_updates_bytes_in_place() {
+        let mut cache = QueryCache::new(4);
+        cache.insert(1, 10, outcome("short"));
+        let before = cache.total_bytes();
+        cache.insert(1, 10, outcome("a much longer label than before"));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.total_bytes() > before);
+        assert_eq!(cache.get(1, 10).unwrap().label, "a much longer label than before");
     }
 
     #[test]
@@ -159,5 +303,7 @@ mod tests {
         cache.invalidate_snapshot(1);
         assert!(cache.get(1, 10).is_none());
         assert_eq!(cache.get(2, 10).unwrap().label, "b");
+        // Accounting survives invalidation: bytes match the survivor.
+        assert_eq!(cache.total_bytes(), outcome_bytes(&outcome("b")));
     }
 }

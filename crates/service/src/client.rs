@@ -7,6 +7,7 @@
 use crate::protocol::{read_message, write_message, Request, Response};
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A connected protocol client (one request/response in flight at a
 /// time, matching the per-connection protocol state machine).
@@ -36,6 +37,29 @@ impl ServiceClient {
                 format!("malformed response: {e}"),
             )),
             Some(Ok(response)) => Ok(response),
+        }
+    }
+
+    /// [`ServiceClient::request`], retrying while admission control
+    /// answers [`Response::Busy`]: sleeps the server's `retry_after_ms`
+    /// hint between attempts and gives up after `max_retries` refusals
+    /// (returning the last `Busy` so the caller can tell). This is the
+    /// client half of the backpressure contract — over-capacity load
+    /// turns into paced retries instead of queue growth on the server.
+    pub fn request_with_retry(
+        &mut self,
+        request: &Request,
+        max_retries: u32,
+    ) -> io::Result<Response> {
+        let mut attempts = 0;
+        loop {
+            match self.request(request)? {
+                Response::Busy { retry_after_ms } if attempts < max_retries => {
+                    attempts += 1;
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.clamp(1, 1_000)));
+                }
+                response => return Ok(response),
+            }
         }
     }
 

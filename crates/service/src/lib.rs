@@ -16,10 +16,16 @@
 //!
 //! Queries arrive over a newline-delimited-JSON protocol on plain TCP
 //! ([`TwinServer`] / [`ServiceClient`]; grammar in `docs/SERVICE.md`),
-//! fan out across the workspace thread pool (UQ draws and query batches
-//! in one pool pass), and are memoised in a [`QueryCache`] keyed by
+//! are scheduled by a **bounded worker pool** (fixed reader set
+//! multiplexing the sockets, a depth-limited request queue with
+//! [`Response::Busy`] backpressure, per-connection in-flight caps —
+//! no thread-per-connection, see [`ServerConfig`]), fan out across the
+//! workspace thread pool (UQ draws and query batches in one pool
+//! pass), and are memoised in a size-aware LRU [`QueryCache`] keyed by
 //! `(snapshot id, scenario fingerprint)` — asking the same question of
-//! the same frozen state twice costs one hash lookup.
+//! the same frozen state twice costs one hash lookup. Shutdown is a
+//! drain: admitted requests finish and every server thread is joined
+//! before [`ServerHandle::shutdown`] returns.
 //!
 //! ```no_run
 //! use exadigit_core::config::TwinConfig;
@@ -50,18 +56,20 @@
 
 mod cache;
 mod client;
+mod pool;
 mod protocol;
 mod query;
 mod server;
 mod snapshot;
 
-pub use cache::{scenario_fingerprint, QueryCache};
+pub use cache::{outcome_bytes, scenario_fingerprint, QueryCache};
 pub use client::ServiceClient;
+pub use pool::{ServerConfig, ServerHandle, TwinServer};
 pub use protocol::{
-    read_message, write_message, Request, Response, ServerStatus, MAX_LINE_BYTES,
+    read_message, write_message, BatchOutcome, Request, Response, ServerStatus, MAX_LINE_BYTES,
 };
 pub use query::{run_whatif, WhatIfOutcome, WhatIfSpec};
-pub use server::{ServerHandle, TwinServer, TwinService};
+pub use server::TwinService;
 pub use snapshot::{SnapshotInfo, SnapshotStore, TwinSnapshot};
 
 // Re-exported so service consumers can build feeds without naming the

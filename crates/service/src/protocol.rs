@@ -117,8 +117,17 @@ pub enum Response {
     Answers {
         /// How many of the outcomes came from the cache.
         cached_hits: u64,
-        /// Outcomes in spec order.
-        outcomes: Vec<WhatIfOutcome>,
+        /// Per-spec results in spec order: one bad spec reports its own
+        /// error without discarding its siblings' outcomes.
+        outcomes: Vec<BatchOutcome>,
+    },
+    /// Admission control refused the request: the request queue is full
+    /// or this connection is over its in-flight cap. Nothing was
+    /// executed; back off and resend.
+    Busy {
+        /// Suggested back-off before retrying, milliseconds
+        /// ([`crate::ServiceClient::request_with_retry`] honours it).
+        retry_after_ms: u64,
     },
     /// Reply to [`Request::Shutdown`]; the server stops accepting
     /// connections after sending it.
@@ -128,6 +137,37 @@ pub enum Response {
         /// Human-readable cause.
         message: String,
     },
+}
+
+/// One slot of a [`Response::Answers`] batch, in spec order.
+///
+/// The vendored serde has no `Result` impls, and a dedicated enum keeps
+/// the wire shape explicit anyway: `{"Ok": outcome}` or
+/// `{"Err": {"message": ...}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BatchOutcome {
+    /// The spec's outcome (computed or served from the cache).
+    Ok(WhatIfOutcome),
+    /// The spec failed; sibling slots are unaffected.
+    Err {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+impl BatchOutcome {
+    /// The outcome, when this slot succeeded.
+    pub fn ok(&self) -> Option<&WhatIfOutcome> {
+        match self {
+            BatchOutcome::Ok(outcome) => Some(outcome),
+            BatchOutcome::Err { .. } => None,
+        }
+    }
+
+    /// True when this slot succeeded.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, BatchOutcome::Ok(_))
+    }
 }
 
 /// Write one message as a JSON line.
@@ -260,6 +300,41 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         // The reader stopped near the cap rather than draining forever.
         assert!(reader.get_ref().served < MAX_LINE_BYTES + 1_000_000);
+    }
+
+    #[test]
+    fn busy_and_per_slot_batch_results_round_trip() {
+        let outcome = WhatIfOutcome {
+            label: "ok".into(),
+            from_s: 0,
+            to_s: 60,
+            jobs_completed: 1,
+            avg_power_mw: 8.0,
+            power_std_mw: 0.0,
+            energy_mwh: 0.13,
+            energy_std_mwh: 0.0,
+            final_pue: None,
+            final_utilization: 0.5,
+            draws: 1,
+        };
+        let responses = vec![
+            Response::Busy { retry_after_ms: 20 },
+            Response::Answers {
+                cached_hits: 1,
+                outcomes: vec![
+                    BatchOutcome::Ok(outcome),
+                    BatchOutcome::Err { message: "spec 1: horizon too long".into() },
+                ],
+            },
+        ];
+        for resp in responses {
+            let json = serde_json::to_string(&resp).unwrap();
+            let back: Response = serde_json::from_str(&json).unwrap();
+            assert_eq!(resp, back, "round trip failed for {json}");
+        }
+        // The grammar documented in docs/SERVICE.md.
+        let json = serde_json::to_string(&Response::Busy { retry_after_ms: 5 }).unwrap();
+        assert!(json.contains("\"Busy\"") && json.contains("retry_after_ms"), "{json}");
     }
 
     #[test]

@@ -1,22 +1,20 @@
-//! The persistent twin service and its TCP front end.
+//! The protocol-agnostic twin service.
 //!
-//! [`TwinService`] is the protocol-agnostic core: one live twin fed by a
-//! [`TelemetryFeed`], a [`SnapshotStore`], and a [`QueryCache`], all
-//! behind locks so [`TwinService::handle`] is callable from any thread.
-//! The locking is deliberately asymmetric: ingest ([`Request::Advance`])
+//! [`TwinService`] is the core the serving tier (see [`crate::pool`])
+//! schedules requests onto: one live twin fed by a [`TelemetryFeed`], a
+//! [`SnapshotStore`], and a [`QueryCache`], all behind locks so
+//! [`TwinService::handle`] is callable from any worker thread. The
+//! locking is deliberately asymmetric: ingest ([`Request::Advance`])
 //! serialises on the live-twin mutex, while what-if queries only take
 //! that lock long enough to resolve a snapshot `Arc` — the fork and the
 //! horizon run execute lock-free, which is what makes *concurrent*
-//! scenario queries concurrent in practice.
-//!
-//! [`TwinServer`] puts the service behind `std::net::TcpListener`: one
-//! thread per connection, newline-delimited JSON per
-//! [`crate::protocol`]. The paper-scale deployment would put a real
-//! stream and scheduler behind the same two types; the protocol and
-//! state machine are the contribution here, not the socket handling.
+//! scenario queries concurrent in practice. No method holds two of the
+//! three locks at once ([`Request::Status`] copies the live fields out
+//! before reading the cache and snapshot stores), so a long `Advance`
+//! can never wedge requests that don't need the live twin.
 
 use crate::cache::{scenario_fingerprint, QueryCache};
-use crate::protocol::{read_message, write_message, Request, Response, ServerStatus};
+use crate::protocol::{BatchOutcome, Request, Response, ServerStatus};
 use crate::query::{run_whatif, WhatIfOutcome, WhatIfSpec};
 use crate::snapshot::{SnapshotStore, TwinSnapshot};
 use exadigit_core::config::TwinConfig;
@@ -24,11 +22,7 @@ use exadigit_core::twin::DigitalTwin;
 use exadigit_sim::ensemble::EnsembleRunner;
 use exadigit_telemetry::replay::TelemetryFeed;
 use parking_lot::Mutex;
-use std::io::BufReader;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// The live twin plus its telemetry feed (one lock, one writer at a
 /// time: ingest is inherently serial).
@@ -63,24 +57,44 @@ impl TwinService {
         })
     }
 
-    /// Cap the snapshot store (builder style).
-    pub fn with_max_snapshots(self, max_snapshots: usize) -> Self {
+    /// Cap the snapshot store (builder style). Errs once any snapshot
+    /// has been taken: the cap is serving configuration, not a runtime
+    /// control, and rebuilding the store would drop live snapshot ids.
+    pub fn with_max_snapshots(self, max_snapshots: usize) -> Result<Self, String> {
         let seed = {
-            // Rebuild the store with the same seed; only valid before
-            // serving (no snapshots taken yet).
             let store = self.snapshots.lock();
-            assert!(store.is_empty(), "configure before taking snapshots");
+            if !store.is_empty() {
+                return Err(format!(
+                    "snapshot cap must be configured before serving ({} snapshots already taken)",
+                    store.len()
+                ));
+            }
             store.seed()
         };
-        TwinService {
+        Ok(TwinService {
             snapshots: Mutex::new(SnapshotStore::new(max_snapshots, seed)),
+            ..self
+        })
+    }
+
+    /// Cap the query cache's entry count (builder style); the byte
+    /// budget is preserved.
+    pub fn with_cache_capacity(self, capacity: usize) -> Self {
+        let bytes = self.cache.lock().byte_budget();
+        TwinService {
+            cache: Mutex::new(QueryCache::new(capacity).with_byte_budget(bytes)),
             ..self
         }
     }
 
-    /// Cap the query cache (builder style).
-    pub fn with_cache_capacity(self, capacity: usize) -> Self {
-        TwinService { cache: Mutex::new(QueryCache::new(capacity)), ..self }
+    /// Cap the query cache's resident bytes (builder style); the entry
+    /// cap is preserved.
+    pub fn with_cache_bytes(self, bytes: usize) -> Self {
+        let capacity = self.cache.lock().capacity();
+        TwinService {
+            cache: Mutex::new(QueryCache::new(capacity).with_byte_budget(bytes)),
+            ..self
+        }
     }
 
     /// Pin the pool width query fan-out uses (builder style).
@@ -105,21 +119,38 @@ impl TwinService {
     }
 
     fn status(&self) -> Response {
-        let live = self.live.lock();
-        let (running, pending) = live.twin.queue_state();
-        let cache = self.cache.lock();
-        let (hits, misses) = cache.stats();
+        // Copy the live fields out and release the lock before touching
+        // the cache and snapshot stores: holding live across the other
+        // locks would let a long Advance wedge every Status probe that
+        // queued behind it on those stores.
+        let (now_s, running_jobs, pending_jobs, jobs_ingested, feed_pending_jobs, pue) = {
+            let live = self.live.lock();
+            let (running, pending) = live.twin.queue_state();
+            (
+                live.twin.now(),
+                running as u64,
+                pending as u64,
+                live.jobs_ingested,
+                live.feed.pending_jobs() as u64,
+                live.twin.cooling_output("pue"),
+            )
+        };
+        let (cache_entries, cache_hits, cache_misses) = {
+            let cache = self.cache.lock();
+            let (hits, misses) = cache.stats();
+            (cache.len() as u64, hits, misses)
+        };
         Response::Status(ServerStatus {
-            now_s: live.twin.now(),
-            running_jobs: running as u64,
-            pending_jobs: pending as u64,
-            jobs_ingested: live.jobs_ingested,
-            feed_pending_jobs: live.feed.pending_jobs() as u64,
+            now_s,
+            running_jobs,
+            pending_jobs,
+            jobs_ingested,
+            feed_pending_jobs,
             snapshots: self.snapshots.lock().len() as u64,
-            cache_entries: cache.len() as u64,
-            cache_hits: hits,
-            cache_misses: misses,
-            pue: live.twin.cooling_output("pue"),
+            cache_entries,
+            cache_hits,
+            cache_misses,
+            pue,
         })
     }
 
@@ -150,10 +181,13 @@ impl TwinService {
     }
 
     fn take_snapshot(&self, label: String) -> Response {
-        // Hold the live lock across the clone so the frozen state is a
-        // consistent instant; O(state), not O(elapsed).
-        let live = self.live.lock();
-        match self.snapshots.lock().take(&live.twin, label) {
+        // Clone under the live lock so the frozen state is a consistent
+        // instant — O(state), not O(elapsed) — then register it outside.
+        let frozen = {
+            let live = self.live.lock();
+            live.twin.fork()
+        };
+        match frozen.and_then(|twin| self.snapshots.lock().adopt(twin, label)) {
             Ok(snapshot) => Response::SnapshotTaken(snapshot.info()),
             Err(message) => Response::Error { message },
         }
@@ -201,11 +235,14 @@ impl TwinService {
             Err(r) => return r,
         };
         let fingerprints: Vec<u64> = specs.iter().map(scenario_fingerprint).collect();
-        let mut outcomes: Vec<Option<WhatIfOutcome>> = {
+        let mut slots: Vec<Option<BatchOutcome>> = {
             let mut cache = self.cache.lock();
-            fingerprints.iter().map(|&fp| cache.get(snapshot_id, fp)).collect()
+            fingerprints
+                .iter()
+                .map(|&fp| cache.get(snapshot_id, fp).map(BatchOutcome::Ok))
+                .collect()
         };
-        let cached_hits = outcomes.iter().filter(|o| o.is_some()).count() as u64;
+        let cached_hits = slots.iter().filter(|s| s.is_some()).count() as u64;
 
         // One pool pass over the misses, outcomes gathered in spec order.
         // Each miss gets the service pool width too: a spec with
@@ -213,8 +250,7 @@ impl TwinService {
         // misses than workers those draws fill the idle slots (nested
         // calls from an occupied pool simply run inline). Outcomes are
         // width-invariant either way, so cache coherence is unaffected.
-        let misses: Vec<usize> =
-            (0..specs.len()).filter(|&i| outcomes[i].is_none()).collect();
+        let misses: Vec<usize> = (0..specs.len()).filter(|&i| slots[i].is_none()).collect();
         if !misses.is_empty() {
             let mut runner = EnsembleRunner::new(0);
             if let Some(n) = self.threads {
@@ -222,135 +258,25 @@ impl TwinService {
             }
             let computed: Vec<(usize, Result<WhatIfOutcome, String>)> = runner
                 .map(misses, |_ctx, i| (i, run_whatif(&snapshot, &specs[i], self.threads)));
+            // Every success is cached and reported; a failed spec fills
+            // only its own slot with its error — siblings keep their
+            // computed outcomes instead of being discarded wholesale.
             let mut cache = self.cache.lock();
             for (i, result) in computed {
-                match result {
+                slots[i] = Some(match result {
                     Ok(outcome) => {
                         cache.insert(snapshot_id, fingerprints[i], outcome.clone());
-                        outcomes[i] = Some(outcome);
+                        BatchOutcome::Ok(outcome)
                     }
-                    Err(message) => {
-                        return Response::Error {
-                            message: format!("spec {i} ({}): {message}", specs[i].label),
-                        }
-                    }
-                }
+                    Err(message) => BatchOutcome::Err {
+                        message: format!("spec {i} ({}): {message}", specs[i].label),
+                    },
+                });
             }
         }
         Response::Answers {
             cached_hits,
-            outcomes: outcomes.into_iter().map(|o| o.expect("filled above")).collect(),
-        }
-    }
-}
-
-/// The TCP front end: a bound listener ready to serve a [`TwinService`].
-pub struct TwinServer {
-    listener: TcpListener,
-    service: Arc<TwinService>,
-}
-
-impl TwinServer {
-    /// Bind to `addr` (use port 0 for an OS-assigned port, the loopback
-    /// pattern tests and the example rely on).
-    pub fn bind(service: TwinService, addr: &str) -> std::io::Result<TwinServer> {
-        Ok(TwinServer { listener: TcpListener::bind(addr)?, service: Arc::new(service) })
-    }
-
-    /// The bound address (connect [`crate::ServiceClient`] here).
-    pub fn local_addr(&self) -> SocketAddr {
-        self.listener.local_addr().expect("bound listener has an address")
-    }
-
-    /// Serve in a background thread: one handler thread per connection,
-    /// until a [`Request::Shutdown`] arrives or the handle is shut down.
-    pub fn spawn(self) -> ServerHandle {
-        let addr = self.local_addr();
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let accept_shutdown = Arc::clone(&shutdown);
-        let service = Arc::clone(&self.service);
-        let listener = self.listener;
-        let join = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                let service = Arc::clone(&service);
-                let shutdown = Arc::clone(&accept_shutdown);
-                std::thread::spawn(move || handle_connection(stream, service, shutdown, addr));
-            }
-        });
-        ServerHandle { addr, shutdown, join: Some(join) }
-    }
-}
-
-/// One connection: alternate request/response lines until EOF or
-/// shutdown.
-fn handle_connection(
-    stream: TcpStream,
-    service: Arc<TwinService>,
-    shutdown: Arc<AtomicBool>,
-    addr: SocketAddr,
-) {
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    loop {
-        let message = match read_message::<Request>(&mut reader) {
-            Ok(Some(m)) => m,
-            Ok(None) | Err(_) => return, // EOF or broken socket
-        };
-        // A request that arrives after another connection's Shutdown is
-        // refused: in-flight requests finish, new ones do not start.
-        if shutdown.load(Ordering::SeqCst) {
-            let _ = write_message(
-                &mut writer,
-                &Response::Error { message: "server is shutting down".into() },
-            );
-            return;
-        }
-        let response = match &message {
-            Ok(request) => service.handle(request),
-            Err(parse_error) => {
-                Response::Error { message: format!("malformed request: {parse_error}") }
-            }
-        };
-        let is_shutdown = matches!(response, Response::ShuttingDown);
-        if write_message(&mut writer, &response).is_err() {
-            return;
-        }
-        if is_shutdown {
-            shutdown.store(true, Ordering::SeqCst);
-            // Wake the accept loop so it observes the flag.
-            let _ = TcpStream::connect(addr);
-            return;
-        }
-    }
-}
-
-/// Handle to a spawned server: address + orderly shutdown.
-pub struct ServerHandle {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    join: Option<JoinHandle<()>>,
-}
-
-impl ServerHandle {
-    /// Address clients connect to.
-    pub fn addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    /// Stop accepting connections and join the accept loop. Connections
-    /// already being handled finish their in-flight request.
-    pub fn shutdown(mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(join) = self.join.take() {
-            let _ = join.join();
+            outcomes: slots.into_iter().map(|s| s.expect("filled above")).collect(),
         }
     }
 }
@@ -435,11 +361,45 @@ mod tests {
             panic!()
         };
         assert_eq!(cached_hits, 1);
+        let outcomes: Vec<_> = outcomes.iter().map(|o| o.ok().expect("all succeed")).collect();
         assert_eq!(
             outcomes.iter().map(|o| o.label.as_str()).collect::<Vec<_>>(),
             vec!["a", "b", "c"]
         );
         assert!(outcomes[0].to_s < outcomes[2].to_s);
+    }
+
+    #[test]
+    fn batch_reports_per_spec_errors_and_keeps_sibling_outcomes() {
+        let svc = service();
+        svc.handle(&Request::Advance { seconds: 600 });
+        let Response::SnapshotTaken(info) =
+            svc.handle(&Request::Snapshot { label: "base".into() })
+        else {
+            panic!()
+        };
+        let good = WhatIfSpec { label: "good".into(), horizon_s: 300, ..WhatIfSpec::default() };
+        let bad =
+            WhatIfSpec { label: "bad".into(), horizon_s: u64::MAX, ..WhatIfSpec::default() };
+        let tail = WhatIfSpec { label: "tail".into(), horizon_s: 600, ..WhatIfSpec::default() };
+        let Response::Answers { cached_hits, outcomes } = svc.handle(&Request::QueryBatch {
+            snapshot_id: info.id,
+            specs: vec![good.clone(), bad, tail],
+        }) else {
+            panic!()
+        };
+        assert_eq!(cached_hits, 0);
+        assert!(outcomes[0].is_ok() && outcomes[2].is_ok(), "siblings survive the bad spec");
+        let BatchOutcome::Err { message } = &outcomes[1] else {
+            panic!("bad spec must report its own error")
+        };
+        assert!(message.contains("spec 1") && message.contains("bad"), "{message}");
+        // The successes were cached despite the failure.
+        let Response::Answer { cached: true, .. } =
+            svc.handle(&Request::Query { snapshot_id: info.id, spec: good })
+        else {
+            panic!("sibling success must have been cached")
+        };
     }
 
     #[test]
@@ -488,6 +448,20 @@ mod tests {
         let Response::Status(s) = svc.handle(&Request::Status) else { panic!() };
         assert_eq!(s.cache_entries, 0);
         assert!(matches!(svc.handle(&q), Response::Error { .. }));
+    }
+
+    #[test]
+    fn late_snapshot_cap_is_an_error_not_a_panic() {
+        let svc = service();
+        svc.handle(&Request::Advance { seconds: 300 });
+        svc.handle(&Request::Snapshot { label: "taken".into() });
+        let err = svc.with_max_snapshots(4).err().expect("late cap must be refused");
+        assert!(err.contains("before serving"), "{err}");
+        // Before any snapshot, the cap applies cleanly.
+        let svc = service().with_max_snapshots(1).unwrap();
+        svc.handle(&Request::Snapshot { label: "only".into() });
+        let r = svc.handle(&Request::Snapshot { label: "one too many".into() });
+        assert!(matches!(r, Response::Error { .. }), "{r:?}");
     }
 
     #[test]

@@ -102,6 +102,14 @@ impl SnapshotStore {
     /// because a snapshot may be the base of in-flight queries) or when
     /// the twin's cooling backend cannot capture its state.
     pub fn take(&mut self, live: &DigitalTwin, label: String) -> Result<Arc<TwinSnapshot>, String> {
+        self.adopt(live.fork()?, label)
+    }
+
+    /// Register an already-frozen twin as a new snapshot. Lets the
+    /// caller clone under its own lock and register outside it (the
+    /// service never holds the live-twin and store locks together).
+    /// Same capacity rule as [`SnapshotStore::take`].
+    pub fn adopt(&mut self, twin: DigitalTwin, label: String) -> Result<Arc<TwinSnapshot>, String> {
         if self.snapshots.len() >= self.max_snapshots {
             return Err(format!(
                 "snapshot store is full ({} of {}); drop one first",
@@ -113,12 +121,12 @@ impl SnapshotStore {
         let snapshot = Arc::new(TwinSnapshot {
             id,
             label,
-            taken_at_s: live.now(),
+            taken_at_s: twin.now(),
             seed: {
                 let mut base = Rng::new(self.seed).split(id);
                 base.next_u64()
             },
-            twin: live.fork()?,
+            twin,
         });
         self.next_id += 1;
         self.snapshots.insert(id, Arc::clone(&snapshot));

@@ -1,20 +1,27 @@
 //! End-to-end loopback: a real TCP server, concurrent clients, the full
-//! snapshot → fork → query → cache lifecycle over the wire.
+//! snapshot → fork → query → cache lifecycle over the wire — plus the
+//! serving-tier contracts (bounded worker pool, Busy backpressure,
+//! drain-on-shutdown, LRU cache behaviour).
 
 use exadigit_core::config::TwinConfig;
 use exadigit_service::{
-    Request, Response, ServiceClient, TelemetryFeed, TwinServer, TwinService, WhatIfSpec,
+    BatchOutcome, Request, Response, ServiceClient, TelemetryFeed, TwinServer, TwinService,
+    WhatIfOutcome, WhatIfSpec,
 };
+use std::time::Duration;
 
-fn spawn_server() -> exadigit_service::ServerHandle {
-    let service = TwinService::new(
+fn service() -> TwinService {
+    TwinService::new(
         TwinConfig::frontier_power_only(),
         TelemetryFeed::synthetic(123, 1),
         123,
     )
     .unwrap()
-    .with_threads(2);
-    TwinServer::bind(service, "127.0.0.1:0").unwrap().spawn()
+    .with_threads(2)
+}
+
+fn spawn_server() -> exadigit_service::ServerHandle {
+    TwinServer::bind(service(), "127.0.0.1:0").unwrap().spawn()
 }
 
 #[test]
@@ -142,5 +149,297 @@ fn shutdown_request_stops_the_server() {
     let mut client = ServiceClient::connect(addr).unwrap();
     let r = client.request(&Request::Shutdown).unwrap();
     assert_eq!(r, Response::ShuttingDown);
-    handle.shutdown(); // idempotent: joins the already-stopping accept loop
+    handle.shutdown(); // idempotent: joins the already-draining tier
+}
+
+/// Regression for the detached-handler bug: `shutdown()` used to return
+/// while a handler thread mid-`Advance` could still be mutating the
+/// live twin. The drain contract: the in-flight advance *finishes*, its
+/// response is written, and after `shutdown()` returns the twin never
+/// moves again.
+#[test]
+fn shutdown_drains_in_flight_work_then_freezes_the_twin() {
+    let handle = spawn_server();
+    let addr = handle.addr();
+    let service = handle.service();
+    let in_flight = std::thread::spawn(move || {
+        let mut client = ServiceClient::connect(addr).unwrap();
+        client.request(&Request::Advance { seconds: 86_400 })
+    });
+    // Let the advance be admitted and start mutating the live twin.
+    std::thread::sleep(Duration::from_millis(10));
+    handle.shutdown();
+    // Every worker is joined, so the twin cannot move any more.
+    let Response::Status(a) = service.handle(&Request::Status) else { panic!() };
+    std::thread::sleep(Duration::from_millis(50));
+    let Response::Status(b) = service.handle(&Request::Status) else { panic!() };
+    assert_eq!(a.now_s, b.now_s, "state changed after shutdown returned");
+    // And the admitted request was drained, not abandoned: the client
+    // got its real answer, matching the frozen clock.
+    match in_flight.join().unwrap() {
+        Ok(Response::Advanced { now_s, .. }) => assert_eq!(now_s, a.now_s),
+        other => panic!("in-flight advance must finish through the drain: {other:?}"),
+    }
+}
+
+/// Duplicate specs inside one batch are a benign race on the same cache
+/// key: both slots answer, identically, and later batches hit the cache
+/// for every slot.
+#[test]
+fn duplicate_specs_in_one_batch_agree_and_cache_once() {
+    let handle = spawn_server();
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+    client.request(&Request::Advance { seconds: 900 }).unwrap();
+    let Response::SnapshotTaken(info) =
+        client.request(&Request::Snapshot { label: "base".into() }).unwrap()
+    else {
+        panic!()
+    };
+    let twin_spec = WhatIfSpec { label: "twin".into(), horizon_s: 300, ..WhatIfSpec::default() };
+    let other = WhatIfSpec { label: "other".into(), horizon_s: 600, ..WhatIfSpec::default() };
+    let batch = Request::QueryBatch {
+        snapshot_id: info.id,
+        specs: vec![twin_spec.clone(), twin_spec, other],
+    };
+    let Response::Answers { cached_hits, outcomes } = client.request(&batch).unwrap() else {
+        panic!()
+    };
+    assert_eq!(cached_hits, 0);
+    let unwrap_ok = |o: &BatchOutcome| -> WhatIfOutcome { o.ok().expect("ok").clone() };
+    assert_eq!(unwrap_ok(&outcomes[0]), unwrap_ok(&outcomes[1]), "duplicates must agree");
+    // Re-ask: every slot, duplicates included, is a cache hit now.
+    let Response::Answers { cached_hits, .. } = client.request(&batch).unwrap() else {
+        panic!()
+    };
+    assert_eq!(cached_hits, 3);
+    handle.shutdown();
+}
+
+/// One bad spec reports per-slot; siblings keep their outcomes, over
+/// the wire.
+#[test]
+fn batch_error_is_per_slot_over_the_wire() {
+    let handle = spawn_server();
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+    client.request(&Request::Advance { seconds: 600 }).unwrap();
+    let Response::SnapshotTaken(info) =
+        client.request(&Request::Snapshot { label: "base".into() }).unwrap()
+    else {
+        panic!()
+    };
+    let Response::Answers { outcomes, .. } = client
+        .request(&Request::QueryBatch {
+            snapshot_id: info.id,
+            specs: vec![
+                WhatIfSpec { label: "ok".into(), horizon_s: 300, ..WhatIfSpec::default() },
+                WhatIfSpec { label: "bad".into(), draws: u64::MAX, ..WhatIfSpec::default() },
+            ],
+        })
+        .unwrap()
+    else {
+        panic!()
+    };
+    assert!(outcomes[0].is_ok());
+    assert!(matches!(&outcomes[1], BatchOutcome::Err { message } if message.contains("draws")));
+    handle.shutdown();
+}
+
+/// LRU semantics observed through the wire's `cached` flag: a hit
+/// promotes, so the promoted entry survives an eviction that claims the
+/// stalest entry instead.
+#[test]
+fn cache_promotes_on_hit_and_evicts_lru_over_the_wire() {
+    let svc = service().with_cache_capacity(2);
+    let handle = TwinServer::bind(svc, "127.0.0.1:0").unwrap().spawn();
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+    client.request(&Request::Advance { seconds: 600 }).unwrap();
+    let Response::SnapshotTaken(info) =
+        client.request(&Request::Snapshot { label: "base".into() }).unwrap()
+    else {
+        panic!()
+    };
+    let spec = |label: &str, horizon_s: u64| WhatIfSpec {
+        label: label.into(),
+        horizon_s,
+        ..WhatIfSpec::default()
+    };
+    let cached_flag = |client: &mut ServiceClient, s: WhatIfSpec| -> bool {
+        match client.request(&Request::Query { snapshot_id: info.id, spec: s }).unwrap() {
+            Response::Answer { cached, .. } => cached,
+            other => panic!("{other:?}"),
+        }
+    };
+    assert!(!cached_flag(&mut client, spec("a", 300))); // miss: {a}
+    assert!(!cached_flag(&mut client, spec("b", 600))); // miss: {a, b}
+    assert!(cached_flag(&mut client, spec("a", 300))); // hit promotes a
+    assert!(!cached_flag(&mut client, spec("c", 900))); // evicts b, not a
+    assert!(cached_flag(&mut client, spec("a", 300)), "promoted entry survived");
+    assert!(!cached_flag(&mut client, spec("b", 600)), "stale entry was evicted");
+    handle.shutdown();
+}
+
+/// Byte-budget eviction observed through the wire: with room for only
+/// one outcome, every distinct question evicts the previous answer.
+#[test]
+fn cache_byte_budget_bounds_residency_over_the_wire() {
+    let one_outcome = exadigit_service::outcome_bytes(&WhatIfOutcome {
+        label: "a".into(),
+        from_s: 0,
+        to_s: 0,
+        jobs_completed: 0,
+        avg_power_mw: 0.0,
+        power_std_mw: 0.0,
+        energy_mwh: 0.0,
+        energy_std_mwh: 0.0,
+        final_pue: None,
+        final_utilization: 0.0,
+        draws: 1,
+    });
+    let svc = service().with_cache_bytes(one_outcome + one_outcome / 2);
+    let handle = TwinServer::bind(svc, "127.0.0.1:0").unwrap().spawn();
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+    client.request(&Request::Advance { seconds: 600 }).unwrap();
+    let Response::SnapshotTaken(info) =
+        client.request(&Request::Snapshot { label: "base".into() }).unwrap()
+    else {
+        panic!()
+    };
+    let spec = |label: &str, horizon_s: u64| WhatIfSpec {
+        label: label.into(),
+        horizon_s,
+        ..WhatIfSpec::default()
+    };
+    let cached_flag = |client: &mut ServiceClient, s: WhatIfSpec| -> bool {
+        match client.request(&Request::Query { snapshot_id: info.id, spec: s }).unwrap() {
+            Response::Answer { cached, .. } => cached,
+            other => panic!("{other:?}"),
+        }
+    };
+    assert!(!cached_flag(&mut client, spec("a", 300)));
+    assert!(cached_flag(&mut client, spec("a", 300)), "fits the budget alone");
+    assert!(!cached_flag(&mut client, spec("b", 600)), "second outcome computes");
+    assert!(!cached_flag(&mut client, spec("a", 300)), "and evicted the first by bytes");
+    handle.shutdown();
+}
+
+/// Over-capacity pipelining answers `Busy` instead of queueing without
+/// bound — and the refusals come back in request order, interleaved
+/// with the real answers, leaving the connection usable.
+#[test]
+fn pipelined_overload_answers_busy_in_order() {
+    use std::io::{BufRead, BufReader, Write};
+    let svc = service();
+    let handle = TwinServer::bind(svc, "127.0.0.1:0")
+        .unwrap()
+        .with_workers(1)
+        .with_queue_depth(1)
+        .with_per_client_inflight(2)
+        .spawn();
+    let mut setup = ServiceClient::connect(handle.addr()).unwrap();
+    setup.request(&Request::Advance { seconds: 600 }).unwrap();
+    let Response::SnapshotTaken(info) =
+        setup.request(&Request::Snapshot { label: "base".into() }).unwrap()
+    else {
+        panic!()
+    };
+
+    // Fire 8 uncached queries down one socket without reading a single
+    // response: with 1 worker, queue depth 1, and in-flight cap 2, most
+    // must be refused.
+    let stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    for i in 0..8u64 {
+        let spec = WhatIfSpec {
+            label: format!("storm{i}"),
+            horizon_s: 1_800 + i,
+            ..WhatIfSpec::default()
+        };
+        let line =
+            serde_json::to_string(&Request::Query { snapshot_id: info.id, spec }).unwrap();
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+    }
+    writer.flush().unwrap();
+    let mut answers = 0;
+    let mut busy = 0;
+    for _ in 0..8 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let response: Response = serde_json::from_str(line.trim()).unwrap();
+        match response {
+            Response::Answer { .. } => answers += 1,
+            Response::Busy { retry_after_ms } => {
+                assert!(retry_after_ms > 0, "hint must be actionable");
+                busy += 1;
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+    assert!(answers >= 1, "admitted work still completes");
+    assert!(busy >= 1, "over-capacity load must see Busy");
+    assert_eq!(answers + busy, 8, "every request is answered exactly once");
+
+    // The connection survives the storm.
+    writer.write_all(b"\"Status\"\n").unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.contains("Status"), "{line}");
+    handle.shutdown();
+}
+
+/// A client storm beyond worker capacity: every request eventually
+/// succeeds through `request_with_retry`, backpressure (not queue
+/// growth) absorbing the overload.
+#[test]
+fn client_storm_converges_through_retry_on_busy() {
+    let svc = service();
+    let handle = TwinServer::bind(svc, "127.0.0.1:0")
+        .unwrap()
+        .with_workers(2)
+        .with_queue_depth(2)
+        .spawn();
+    let addr = handle.addr();
+    let mut setup = ServiceClient::connect(addr).unwrap();
+    setup.request(&Request::Advance { seconds: 600 }).unwrap();
+    let Response::SnapshotTaken(info) =
+        setup.request(&Request::Snapshot { label: "base".into() }).unwrap()
+    else {
+        panic!()
+    };
+
+    let workers: Vec<_> = (0..16u64)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut client = ServiceClient::connect(addr).unwrap();
+                let mut busy_seen = 0u64;
+                for j in 0..3u64 {
+                    let spec = WhatIfSpec {
+                        label: format!("storm{}", (i + j) % 4),
+                        horizon_s: 900 + 60 * ((i + j) % 4),
+                        ..WhatIfSpec::default()
+                    };
+                    loop {
+                        match client
+                            .request(&Request::Query { snapshot_id: info.id, spec: spec.clone() })
+                            .unwrap()
+                        {
+                            Response::Answer { .. } => break,
+                            Response::Busy { retry_after_ms } => {
+                                busy_seen += 1;
+                                std::thread::sleep(Duration::from_millis(retry_after_ms.min(50)));
+                            }
+                            other => panic!("{other:?}"),
+                        }
+                    }
+                }
+                busy_seen
+            })
+        })
+        .collect();
+    let _total_busy: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    // Convergence is the assertion: every storm client got every
+    // answer. (Busy counts vary with scheduling; the pipelined test
+    // above pins that refusals actually happen under overload.)
+    handle.shutdown();
 }
