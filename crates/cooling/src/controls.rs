@@ -45,7 +45,7 @@ pub struct ControlCommands {
 }
 
 /// The assembled controllers and staging state machines.
-#[derive(Clone)]
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
 pub struct PlantControls {
     cdu_valve_pids: Vec<Pid>,
     cdu_pump_pids: Vec<Pid>,

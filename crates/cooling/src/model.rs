@@ -16,7 +16,7 @@ use crate::spec::PlantSpec;
 use exadigit_sim::fmi::{Causality, CoSimModel, FmiError, VarRef, VariableDescriptor, VariableRegistry};
 
 /// The cooling model: plant + controls + variable registry.
-#[derive(Clone)]
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
 pub struct CoolingModel {
     plant: Plant,
     controls: PlantControls,
@@ -329,6 +329,10 @@ impl CoSimModel for CoolingModel {
 
     fn fork(&self) -> Option<Box<dyn CoSimModel>> {
         Some(Box::new(self.clone()))
+    }
+
+    fn save_state(&self) -> Option<serde::Value> {
+        Some(serde::Serialize::to_value(self))
     }
 }
 

@@ -25,7 +25,7 @@ use exadigit_thermo::HydraulicResistance;
 const G: f64 = 9.806_65;
 
 /// Per-CDU observable state — the 11 outputs per CDU of §III-C4.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, serde::Serialize, serde::Deserialize)]
 pub struct CduState {
     /// CDU pump electrical power, W (station 14).
     pub pump_power_w: f64,
@@ -58,7 +58,7 @@ pub struct CduState {
 }
 
 /// Whole-plant observable state after a step.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
 pub struct PlantState {
     /// Per-CDU states.
     pub cdus: Vec<CduState>,
@@ -107,7 +107,7 @@ pub struct PlantState {
 }
 
 /// The plant: hydraulics + thermal state + component models.
-#[derive(Clone)]
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
 pub struct Plant {
     /// The generating specification.
     pub spec: PlantSpec,

@@ -58,7 +58,7 @@ pub use config::{CoolingBackend, SurrogateSource, TwinConfig};
 pub use ensemble::{EnsembleRunner, ScenarioOutcome, TwinScenario};
 pub use levels::TwinLevel;
 pub use surrogate::Surrogate;
-pub use twin::DigitalTwin;
+pub use twin::{DigitalTwin, SNAPSHOT_FORMAT_VERSION};
 
 // Re-export the module crates under their paper names.
 pub use exadigit_cooling as cooling;

@@ -13,15 +13,25 @@
 //! [`run`]: DigitalTwin::run
 //! [`tick`]: DigitalTwin::tick
 
-use crate::config::TwinConfig;
+use crate::config::{CoolingBackend, TwinConfig};
 use crate::levels::TwinLevel;
+use crate::surrogate::SurrogateCoolingModel;
+use exadigit_cooling::CoolingModel;
 use exadigit_raps::job::Job;
 use exadigit_raps::power::PowerSnapshot;
 use exadigit_raps::simulation::{CoolingCoupling, RapsSimulation, SimOutputs};
 use exadigit_raps::stats::RunReport;
-use exadigit_sim::fmi::FmiError;
+use exadigit_sim::fmi::{CoSimModel, FmiError};
 use exadigit_sim::TimeSeries;
+use exadigit_telemetry::replay::ReplayCoolingModel;
 use exadigit_viz::SceneGraph;
+
+/// Version stamp written into every serialized twin state. Bump it when
+/// the layout of any state reachable from [`DigitalTwin`] changes shape;
+/// [`DigitalTwin::from_state`] refuses other versions with an explicit
+/// error instead of deserializing garbage physics (policy in
+/// `docs/SERVICE.md` § "Durability and recovery").
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
 
 /// A fully assembled digital twin.
 pub struct DigitalTwin {
@@ -140,6 +150,74 @@ impl DigitalTwin {
         Ok(DigitalTwin { config: self.config.clone(), sim: self.sim.fork()? })
     }
 
+    /// Serialize the complete twin state — configuration, clock, queues,
+    /// event calendar, recorded outputs, and the cooling backend's
+    /// internals — as a versioned value: [`DigitalTwin::fork`] across a
+    /// process boundary.
+    ///
+    /// A twin rebuilt by [`DigitalTwin::from_state`] and advanced is
+    /// bit-identical to this one advanced the same way (the
+    /// `snapshot_roundtrip` battery). Fails only for a cooling backend
+    /// whose model cannot capture its state — all built-in backends can.
+    pub fn save_state(&self) -> Result<serde::Value, String> {
+        Ok(serde::Value::Object(vec![
+            (
+                "snapshot_format_version".to_string(),
+                serde::Value::Number(serde::Number::U(SNAPSHOT_FORMAT_VERSION as u64)),
+            ),
+            ("config".to_string(), serde::Serialize::to_value(&self.config)),
+            ("sim".to_string(), self.sim.save_state()?),
+        ]))
+    }
+
+    /// Rebuild a twin from a [`DigitalTwin::save_state`] value.
+    ///
+    /// The `snapshot_format_version` stamp is checked first: a value
+    /// written by an incompatible build fails here with an explicit
+    /// version message (the golden-fixture test pins this), never with
+    /// garbage physics. The cooling model is reconstructed from its
+    /// captured internals *without* re-running `setup`, so an L4 plant
+    /// resumes mid-transient rather than from a fresh settle.
+    pub fn from_state(value: &serde::Value) -> Result<Self, String> {
+        let version = value
+            .get("snapshot_format_version")
+            .and_then(serde::Value::as_u64)
+            .ok_or_else(|| {
+                "snapshot has no snapshot_format_version field; refusing to load".to_string()
+            })?;
+        if version != SNAPSHOT_FORMAT_VERSION as u64 {
+            return Err(format!(
+                "unsupported snapshot format version {version}: this build reads \
+                 snapshot format version {SNAPSHOT_FORMAT_VERSION}"
+            ));
+        }
+        let config_value =
+            value.get("config").ok_or_else(|| "snapshot has no config field".to_string())?;
+        let config = <TwinConfig as serde::Deserialize>::from_value(config_value)
+            .map_err(|e| format!("invalid twin config in snapshot: {e}"))?;
+        config.validate()?;
+        let sim_value =
+            value.get("sim").ok_or_else(|| "snapshot has no sim field".to_string())?;
+        let backend = config.cooling.clone();
+        let sim = RapsSimulation::from_state(sim_value, |model_state| {
+            rebuild_cooling_model(&backend, model_state)
+        })?;
+        Ok(DigitalTwin { config, sim })
+    }
+
+    /// [`DigitalTwin::save_state`] rendered as a JSON string.
+    pub fn to_snapshot_json(&self) -> Result<String, String> {
+        let value = self.save_state()?;
+        serde_json::to_string(&value).map_err(|e| format!("snapshot serialization failed: {e}"))
+    }
+
+    /// Rebuild a twin from a [`DigitalTwin::to_snapshot_json`] string.
+    pub fn from_snapshot_json(s: &str) -> Result<Self, String> {
+        let value: serde::Value = serde_json::from_str(s)
+            .map_err(|e| format!("snapshot is not valid JSON: {e}"))?;
+        DigitalTwin::from_state(&value)
+    }
+
     /// Mutable access to the underlying RAPS simulation (advanced use).
     pub fn raps_mut(&mut self) -> &mut RapsSimulation {
         &mut self.sim
@@ -148,6 +226,33 @@ impl DigitalTwin {
     /// Immutable access to the underlying RAPS simulation.
     pub fn raps(&self) -> &RapsSimulation {
         &self.sim
+    }
+}
+
+/// Deserialize a cooling model's captured state back into the concrete
+/// backend type the configuration names. The state blob is the one the
+/// model's [`CoSimModel::save_state`] produced, so each arm is a plain
+/// `from_value` of the backend's own struct.
+fn rebuild_cooling_model(
+    backend: &CoolingBackend,
+    state: &serde::Value,
+) -> Result<Box<dyn CoSimModel>, String> {
+    match backend {
+        CoolingBackend::None => {
+            Err("snapshot carries cooling state but the config's backend is None".to_string())
+        }
+        CoolingBackend::Plant => Ok(Box::new(
+            <CoolingModel as serde::Deserialize>::from_value(state)
+                .map_err(|e| format!("invalid L4 plant state in snapshot: {e}"))?,
+        )),
+        CoolingBackend::Surrogate(_) => Ok(Box::new(
+            <SurrogateCoolingModel as serde::Deserialize>::from_value(state)
+                .map_err(|e| format!("invalid L3 surrogate state in snapshot: {e}"))?,
+        )),
+        CoolingBackend::Replay(_) => Ok(Box::new(
+            <ReplayCoolingModel as serde::Deserialize>::from_value(state)
+                .map_err(|e| format!("invalid L2 replay state in snapshot: {e}"))?,
+        )),
     }
 }
 
@@ -297,6 +402,51 @@ mod tests {
         let last_t = pue.t0 + (pue.len() as f64 - 1.0) * 15.0;
         assert!(pue.values.last().unwrap() - 1.08 == 0.0);
         assert!(last_t > 5_400.0, "appended samples carry physical times, got {last_t}");
+    }
+
+    #[test]
+    fn save_load_run_matches_uninterrupted_run_with_plant() {
+        // The L4 hard case: thermal volumes, PID integrators, staging
+        // hysteresis, and the hydraulic warm start must all survive the
+        // JSON round trip for the continuation to stay bit-identical.
+        let mut twin = DigitalTwin::new(TwinConfig::frontier()).unwrap();
+        twin.submit(vec![Job::new(1, "load", 4096, 3600, 1, 0.8, 0.9)]);
+        twin.run(600).unwrap();
+        let json = twin.to_snapshot_json().unwrap();
+        let mut loaded = DigitalTwin::from_snapshot_json(&json).unwrap();
+        assert_eq!(loaded.now(), twin.now());
+        twin.run(600).unwrap();
+        loaded.run(600).unwrap();
+        let (a, b) = (twin.outputs(), loaded.outputs());
+        assert_eq!(a.pue.values.len(), b.pue.values.len());
+        assert!(a
+            .pue
+            .values
+            .iter()
+            .zip(&b.pue.values)
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+        assert_eq!(
+            twin.cooling_output("cdu[1].secondary_supply_temp").map(f64::to_bits),
+            loaded.cooling_output("cdu[1].secondary_supply_temp").map(f64::to_bits),
+        );
+        assert_eq!(twin.report(), loaded.report());
+    }
+
+    #[test]
+    fn snapshot_version_mismatch_is_refused_loudly() {
+        let twin = DigitalTwin::new(TwinConfig::frontier_power_only()).unwrap();
+        let json = twin.to_snapshot_json().unwrap();
+        let bumped = json.replacen(
+            &format!("\"snapshot_format_version\":{SNAPSHOT_FORMAT_VERSION}"),
+            &format!("\"snapshot_format_version\":{}", SNAPSHOT_FORMAT_VERSION + 1),
+            1,
+        );
+        assert_ne!(json, bumped, "version stamp must appear in the JSON");
+        let err = match DigitalTwin::from_snapshot_json(&bumped) {
+            Err(e) => e,
+            Ok(_) => panic!("version-bumped snapshot must not load"),
+        };
+        assert!(err.contains("snapshot format version"), "err={err}");
     }
 
     #[test]

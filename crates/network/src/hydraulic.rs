@@ -25,15 +25,15 @@ use exadigit_thermo::valve::ControlValve;
 use exadigit_thermo::HydraulicResistance;
 
 /// Index of a junction in the network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct NodeId(pub usize);
 
 /// Index of a branch in the network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct BranchId(pub usize);
 
 /// A hydraulic element along a branch.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub enum BranchElement {
     /// Passive quadratic resistance.
     Resistance(HydraulicResistance),
@@ -88,7 +88,7 @@ impl BranchElement {
 
 /// A branch: an ordered chain of elements between two junctions. Positive
 /// flow runs `from → to`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Branch {
     /// Display name, e.g. `HTWP2` or `CDU13.primary`.
     pub name: String,
@@ -160,7 +160,7 @@ impl Solution {
 }
 
 /// The hydraulic network: junctions, branches, one reference node.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct HydraulicNetwork {
     node_names: Vec<String>,
     branches: Vec<Branch>,

@@ -30,7 +30,7 @@ pub enum Policy {
 }
 
 /// Range of node ids belonging to one partition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct PartitionRange {
     start: u32,
     len: u32,
@@ -49,7 +49,7 @@ struct PartitionRange {
 /// Equality compares the full free-list state — what the event-kernel
 /// equivalence tests pin (the canonical form makes set equality and map
 /// equality coincide).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NodePool {
     ranges: Vec<PartitionRange>,
     free: Vec<BTreeMap<u32, u32>>,

@@ -124,7 +124,7 @@ impl CoolingCoupling {
 }
 
 /// Recorded simulation outputs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SimOutputs {
     /// System power, W, sampled every `record_every_s`.
     pub system_power_w: TimeSeries,
@@ -177,7 +177,7 @@ impl SimOutputs {
 
 /// A running job plus its allocation, with per-rack node counts cached so
 /// each power recompute is O(racks touched), not O(nodes).
-#[derive(Clone)]
+#[derive(Clone, serde::Serialize, serde::Deserialize)]
 struct RunningJob {
     job: Job,
     nodes: Vec<u32>,
@@ -191,6 +191,48 @@ struct RunningJob {
     last_cpu: f64,
     /// GPU utilization sample at the last recompute.
     last_gpu: f64,
+}
+
+/// Serialized form of a [`RapsSimulation`]: every field that cannot be
+/// rebuilt from the configuration, plus the cooling model's state blob.
+/// The power model and its scratch accumulator are *not* captured — both
+/// are pure functions of `(cfg, delivery)` and the accumulator is reset
+/// at the start of every recompute — and neither is the drain scratch
+/// buffer. Field-for-field this mirrors [`RapsSimulation::fork`], which
+/// is the bit-identity contract serialization inherits.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct RapsState {
+    cfg: SystemConfig,
+    delivery: PowerDelivery,
+    policy: Policy,
+    pool: NodePool,
+    future: VecDeque<Job>,
+    pending: Vec<Job>,
+    running: Vec<RunningJob>,
+    clock: SimClock,
+    snapshot: PowerSnapshot,
+    power_dirty: bool,
+    sched_echo: bool,
+    cooling: Option<CoolingState>,
+    wet_bulb: TimeSeries,
+    outputs: SimOutputs,
+    record_every_s: u64,
+    events: EventQueue,
+    completed: u64,
+    active_nodes: u32,
+    variable_running: usize,
+    rack_allocated: Vec<u32>,
+    rack_capacity: Vec<u32>,
+    total_nodes: usize,
+}
+
+/// Serialized cooling coupling: the model's opaque state (each backend
+/// deserializes its own type) plus the CDU count needed to re-resolve
+/// variable references via [`CoolingCoupling::attach`].
+#[derive(serde::Serialize, serde::Deserialize)]
+struct CoolingState {
+    num_cdus: usize,
+    model: serde::Value,
 }
 
 /// The RAPS simulator.
@@ -760,6 +802,111 @@ impl RapsSimulation {
             rack_allocated: self.rack_allocated.clone(),
             rack_capacity: self.rack_capacity.clone(),
             total_nodes: self.total_nodes,
+        })
+    }
+
+    /// Capture the complete simulation state as a serializable value —
+    /// [`RapsSimulation::fork`] across a process boundary.
+    ///
+    /// The value carries the clock, queues, running allocations, event
+    /// calendar, accumulated outputs, RNG-bearing series, and (when
+    /// attached) the cooling model's state blob, so a simulation restored
+    /// by [`RapsSimulation::from_state`] and advanced is bit-identical to
+    /// the original advanced the same way (the `snapshot_roundtrip`
+    /// battery). Fails only when the cooling model does not implement
+    /// [`CoSimModel::save_state`].
+    pub fn save_state(&self) -> Result<serde::Value, String> {
+        let cooling = match &self.cooling {
+            None => None,
+            Some(c) => {
+                let model = c.model.save_state().ok_or_else(|| {
+                    format!(
+                        "cooling model '{}' does not support state capture",
+                        c.model.instance_name()
+                    )
+                })?;
+                Some(CoolingState { num_cdus: c.cdu_inputs.len(), model })
+            }
+        };
+        let state = RapsState {
+            cfg: self.cfg.clone(),
+            delivery: self.model.conversion().delivery(),
+            policy: self.policy,
+            pool: self.pool.clone(),
+            future: self.future.clone(),
+            pending: self.pending.clone(),
+            running: self.running.clone(),
+            clock: self.clock,
+            snapshot: self.snapshot.clone(),
+            power_dirty: self.power_dirty,
+            sched_echo: self.sched_echo,
+            cooling,
+            wet_bulb: self.wet_bulb.clone(),
+            outputs: self.outputs.clone(),
+            record_every_s: self.record_every_s,
+            events: self.events.clone(),
+            completed: self.completed,
+            active_nodes: self.active_nodes,
+            variable_running: self.variable_running,
+            rack_allocated: self.rack_allocated.clone(),
+            rack_capacity: self.rack_capacity.clone(),
+            total_nodes: self.total_nodes,
+        };
+        Ok(serde::Serialize::to_value(&state))
+    }
+
+    /// Rebuild a simulation from a [`RapsSimulation::save_state`] value.
+    ///
+    /// The power model and its accumulator are reconstructed from the
+    /// carried `(cfg, delivery)` (the accumulator is scratch reset at
+    /// every recompute, so a fresh one is bit-safe). When the state
+    /// carries cooling, `rebuild_cooling` maps the model's opaque blob
+    /// back to a live [`CoSimModel`] — the caller knows which backend
+    /// type to deserialize — and the coupling is re-attached *without*
+    /// re-running `setup`, so the restored model continues from its
+    /// captured internals rather than a fresh settle.
+    pub fn from_state(
+        value: &serde::Value,
+        rebuild_cooling: impl FnOnce(&serde::Value) -> Result<Box<dyn CoSimModel>, String>,
+    ) -> Result<RapsSimulation, String> {
+        let state =
+            <RapsState as serde::Deserialize>::from_value(value).map_err(|e| {
+                format!("invalid simulation state: {e}")
+            })?;
+        let model = PowerModel::new(state.cfg.clone(), state.delivery);
+        let acc = model.new_accumulator();
+        let cooling = match state.cooling {
+            None => None,
+            Some(cs) => {
+                let boxed = rebuild_cooling(&cs.model)?;
+                Some(CoolingCoupling::attach(boxed, cs.num_cdus)?)
+            }
+        };
+        Ok(RapsSimulation {
+            cfg: state.cfg,
+            model,
+            policy: state.policy,
+            pool: state.pool,
+            future: state.future,
+            pending: state.pending,
+            running: state.running,
+            clock: state.clock,
+            acc,
+            snapshot: state.snapshot,
+            power_dirty: state.power_dirty,
+            sched_echo: state.sched_echo,
+            cooling,
+            wet_bulb: state.wet_bulb,
+            outputs: state.outputs,
+            record_every_s: state.record_every_s,
+            events: state.events,
+            event_buf: Vec::new(),
+            completed: state.completed,
+            active_nodes: state.active_nodes,
+            variable_running: state.variable_running,
+            rack_allocated: state.rack_allocated,
+            rack_capacity: state.rack_capacity,
+            total_nodes: state.total_nodes,
         })
     }
 

@@ -27,6 +27,15 @@
 //! drain: admitted requests finish and every server thread is joined
 //! before [`ServerHandle::shutdown`] returns.
 //!
+//! The service also **survives restarts**: built with
+//! [`TwinService::with_persist_dir`], every snapshot is written to disk
+//! as it is taken (length-prefixed JSON, atomic tmp + rename — see
+//! [`PersistError`] for the typed failure modes), capacity evictions
+//! spill instead of vanishing, [`Request::Checkpoint`] captures the
+//! live twin, and [`TwinService::recover`] brings the whole service
+//! back from the directory alone with bit-identical answers
+//! (`crates/service/tests/recovery.rs`, `docs/SERVICE.md` § 6).
+//!
 //! ```no_run
 //! use exadigit_core::config::TwinConfig;
 //! use exadigit_service::{Request, ServiceClient, TwinServer, TwinService, WhatIfSpec};
@@ -56,6 +65,7 @@
 
 mod cache;
 mod client;
+mod persist;
 mod pool;
 mod protocol;
 mod query;
@@ -64,6 +74,7 @@ mod snapshot;
 
 pub use cache::{outcome_bytes, scenario_fingerprint, QueryCache};
 pub use client::ServiceClient;
+pub use persist::{ManifestEntry, ManifestHeader, PersistError, MANIFEST_FORMAT_VERSION};
 pub use pool::{ServerConfig, ServerHandle, TwinServer};
 pub use protocol::{
     read_message, write_message, BatchOutcome, Request, Response, ServerStatus, MAX_LINE_BYTES,

@@ -56,6 +56,18 @@ pub enum Request {
         /// The scenarios.
         specs: Vec<WhatIfSpec>,
     },
+    /// Write the live twin (feed position included) to the service's
+    /// persist directory so [`crate::TwinService::recover`] can restore
+    /// it after a restart. Errors without a persist directory.
+    Checkpoint,
+    /// Force a snapshot's state to disk. With a persist directory every
+    /// snapshot is already written at take time, so this re-writes the
+    /// file (healing a damaged one) and confirms durability to the
+    /// client; without one it errors.
+    Persist {
+        /// Id to persist.
+        snapshot_id: u64,
+    },
     /// Stop accepting connections and shut the server down.
     Shutdown,
 }
@@ -128,6 +140,20 @@ pub enum Response {
         /// Suggested back-off before retrying, milliseconds
         /// ([`crate::ServiceClient::request_with_retry`] honours it).
         retry_after_ms: u64,
+    },
+    /// Reply to [`Request::Checkpoint`].
+    Checkpointed {
+        /// Live twin's simulated second at the checkpoint instant.
+        now_s: u64,
+        /// Checkpoint payload size, bytes.
+        bytes: u64,
+    },
+    /// Reply to [`Request::Persist`].
+    Persisted {
+        /// The id that was written.
+        snapshot_id: u64,
+        /// Snapshot payload size, bytes.
+        bytes: u64,
     },
     /// Reply to [`Request::Shutdown`]; the server stops accepting
     /// connections after sending it.
@@ -255,6 +281,8 @@ mod tests {
                     WhatIfSpec { draws: 16, ..WhatIfSpec::default() },
                 ],
             },
+            Request::Checkpoint,
+            Request::Persist { snapshot_id: 2 },
             Request::Shutdown,
         ];
         for req in requests {
@@ -319,6 +347,8 @@ mod tests {
         };
         let responses = vec![
             Response::Busy { retry_after_ms: 20 },
+            Response::Checkpointed { now_s: 43_200, bytes: 9_999 },
+            Response::Persisted { snapshot_id: 2, bytes: 1_234 },
             Response::Answers {
                 cached_hits: 1,
                 outcomes: vec![

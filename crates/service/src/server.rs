@@ -14,6 +14,7 @@
 //! can never wedge requests that don't need the live twin.
 
 use crate::cache::{scenario_fingerprint, QueryCache};
+use crate::persist::{checkpoint_path, read_json, write_json};
 use crate::protocol::{BatchOutcome, Request, Response, ServerStatus};
 use crate::query::{run_whatif, WhatIfOutcome, WhatIfSpec};
 use crate::snapshot::{SnapshotStore, TwinSnapshot};
@@ -22,6 +23,7 @@ use exadigit_core::twin::DigitalTwin;
 use exadigit_sim::ensemble::EnsembleRunner;
 use exadigit_telemetry::replay::TelemetryFeed;
 use parking_lot::Mutex;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// The live twin plus its telemetry feed (one lock, one writer at a
@@ -30,6 +32,18 @@ struct LiveState {
     twin: DigitalTwin,
     feed: TelemetryFeed,
     jobs_ingested: u64,
+}
+
+/// On-disk form of the live-twin checkpoint (`live.json`): the twin's
+/// versioned state blob plus everything else [`TwinService::recover`]
+/// needs to resume ingest exactly where it stopped — the telemetry
+/// feed's cursor and the ingest counter.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct PersistedCheckpoint {
+    now_s: u64,
+    jobs_ingested: u64,
+    feed: TelemetryFeed,
+    twin: serde::Value,
 }
 
 /// The persistent twin service: live twin, snapshots, query cache.
@@ -59,22 +73,72 @@ impl TwinService {
 
     /// Cap the snapshot store (builder style). Errs once any snapshot
     /// has been taken: the cap is serving configuration, not a runtime
-    /// control, and rebuilding the store would drop live snapshot ids.
+    /// control, and re-capping the store would drop live snapshot ids.
     pub fn with_max_snapshots(self, max_snapshots: usize) -> Result<Self, String> {
-        let seed = {
-            let store = self.snapshots.lock();
+        {
+            let mut store = self.snapshots.lock();
             if !store.is_empty() {
                 return Err(format!(
                     "snapshot cap must be configured before serving ({} snapshots already taken)",
                     store.len()
                 ));
             }
-            store.seed()
-        };
+            store.set_max_snapshots(max_snapshots)?;
+        }
+        Ok(self)
+    }
+
+    /// Enable the durable tier (builder style): every snapshot taken
+    /// from now on is also written under `dir`, capacity evictions spill
+    /// to disk instead of erroring, and [`Request::Checkpoint`] /
+    /// [`TwinService::recover`] become available. Must be configured
+    /// before any snapshot is taken, and refuses a directory that
+    /// already holds a manifest (recover that instead).
+    pub fn with_persist_dir(self, dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let store = self.snapshots.into_inner().with_persist_dir(dir)?;
+        Ok(TwinService { snapshots: Mutex::new(store), ..self })
+    }
+
+    /// Restore a service from a persist directory: the snapshot store's
+    /// identity and every persisted snapshot come back from the manifest
+    /// (spilled — rehydrated lazily on first use), and the live twin,
+    /// feed cursor, and ingest counter come back from the last
+    /// [`Request::Checkpoint`]. The query cache starts cold: entries are
+    /// keyed by `(snapshot id, fingerprint)` and ids are never reused
+    /// across recoveries, so a cold cache recomputes identical answers
+    /// rather than risking stale ones. Damaged manifest lines are
+    /// reported via [`TwinService::recovery_warnings`], not silently
+    /// dropped; a missing or torn checkpoint is a typed error.
+    pub fn recover(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let dir = dir.into();
+        let store = SnapshotStore::recover(&dir).map_err(|e| e.to_string())?;
+        let checkpoint: PersistedCheckpoint =
+            read_json(&checkpoint_path(&dir)).map_err(|e| e.to_string())?;
+        let twin = DigitalTwin::from_state(&checkpoint.twin)?;
+        if twin.now() != checkpoint.now_s {
+            return Err(format!(
+                "checkpoint claims t = {} s but the restored twin is at t = {} s",
+                checkpoint.now_s,
+                twin.now()
+            ));
+        }
         Ok(TwinService {
-            snapshots: Mutex::new(SnapshotStore::new(max_snapshots, seed)),
-            ..self
+            live: Mutex::new(LiveState {
+                twin,
+                feed: checkpoint.feed,
+                jobs_ingested: checkpoint.jobs_ingested,
+            }),
+            snapshots: Mutex::new(store),
+            cache: Mutex::new(QueryCache::new(1024)),
+            threads: None,
         })
+    }
+
+    /// Damage reports collected while recovering the snapshot manifest
+    /// (empty for a clean recovery or a service that was never
+    /// recovered).
+    pub fn recovery_warnings(&self) -> Vec<String> {
+        self.snapshots.lock().recovery_warnings().to_vec()
     }
 
     /// Cap the query cache's entry count (builder style); the byte
@@ -114,6 +178,8 @@ impl TwinService {
             Request::DropSnapshot { snapshot_id } => self.drop_snapshot(*snapshot_id),
             Request::Query { snapshot_id, spec } => self.query(*snapshot_id, spec),
             Request::QueryBatch { snapshot_id, specs } => self.query_batch(*snapshot_id, specs),
+            Request::Checkpoint => self.checkpoint(),
+            Request::Persist { snapshot_id } => self.persist(*snapshot_id),
             Request::Shutdown => Response::ShuttingDown,
         }
     }
@@ -202,10 +268,58 @@ impl TwinService {
         }
     }
 
+    /// Capture the live twin to `live.json` so [`TwinService::recover`]
+    /// can resume from it. The state is cloned under the live lock (a
+    /// consistent instant, O(state)); the disk write happens under the
+    /// store lock instead, so a slow disk never wedges ingest and
+    /// concurrent checkpoints serialise on the file.
+    fn checkpoint(&self) -> Response {
+        let checkpoint = {
+            let live = self.live.lock();
+            match live.twin.save_state() {
+                Ok(twin) => PersistedCheckpoint {
+                    now_s: live.twin.now(),
+                    jobs_ingested: live.jobs_ingested,
+                    feed: live.feed.clone(),
+                    twin,
+                },
+                Err(e) => {
+                    return Response::Error { message: format!("checkpoint failed: {e}") }
+                }
+            }
+        };
+        let store = self.snapshots.lock();
+        let Some(dir) = store.persist_dir() else {
+            return Response::Error {
+                message: "no persist directory configured; checkpoint needs a durable tier"
+                    .to_string(),
+            };
+        };
+        match write_json(&checkpoint_path(dir), &checkpoint) {
+            Ok(bytes) => Response::Checkpointed { now_s: checkpoint.now_s, bytes },
+            Err(e) => Response::Error { message: format!("checkpoint failed: {e}") },
+        }
+    }
+
+    fn persist(&self, snapshot_id: u64) -> Response {
+        match self.snapshots.lock().persist(snapshot_id) {
+            Ok(bytes) => Response::Persisted { snapshot_id, bytes },
+            Err(message) => Response::Error { message },
+        }
+    }
+
     fn resolve(&self, snapshot_id: u64) -> Result<Arc<TwinSnapshot>, Response> {
-        self.snapshots.lock().get(snapshot_id).ok_or_else(|| Response::Error {
-            message: format!("unknown snapshot {snapshot_id}"),
-        })
+        match self.snapshots.lock().get(snapshot_id) {
+            Ok(Some(snapshot)) => Ok(snapshot),
+            Ok(None) => Err(Response::Error {
+                message: format!("unknown snapshot {snapshot_id}"),
+            }),
+            // A spilled snapshot whose file is torn or corrupt degrades
+            // to a per-request typed error, never a panic.
+            Err(e) => Err(Response::Error {
+                message: format!("snapshot {snapshot_id} failed to load: {e}"),
+            }),
+        }
     }
 
     fn query(&self, snapshot_id: u64, spec: &WhatIfSpec) -> Response {

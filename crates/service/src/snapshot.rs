@@ -15,10 +15,15 @@
 //! `Rng::new(snapshot.seed ^ fingerprint).split(i)` regardless of pool
 //! width or arrival order.
 
+use crate::persist::{
+    read_json, read_manifest, snapshot_path, write_json, write_manifest, ManifestEntry,
+    ManifestHeader, PersistError, MANIFEST_FORMAT_VERSION,
+};
 use exadigit_core::twin::DigitalTwin;
 use exadigit_sim::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// A frozen copy of the live twin at one simulated second.
@@ -77,30 +82,137 @@ pub struct SnapshotInfo {
     pub pending_jobs: u64,
 }
 
-/// The service's snapshot registry: id-keyed, capacity-bounded.
+/// On-disk form of one snapshot file (`snap-<id>.json`): identity plus
+/// the twin's versioned state blob (`DigitalTwin::save_state`).
+#[derive(Serialize, Deserialize)]
+struct PersistedSnapshot {
+    id: u64,
+    label: String,
+    taken_at_s: u64,
+    seed: u64,
+    twin: serde::Value,
+}
+
+/// The service's snapshot registry: id-keyed, capacity-bounded in
+/// memory, optionally backed by a disk tier.
+///
+/// With a persist directory configured ([`SnapshotStore::with_persist_dir`]
+/// or [`SnapshotStore::recover`]), every adopted snapshot is also written
+/// to disk (length-prefixed JSON, atomic tmp + rename — see
+/// [`PersistError`] for the typed failure modes), snapshots evicted by
+/// the in-memory capacity
+/// **spill** to that tier instead of vanishing, and [`SnapshotStore::get`]
+/// transparently rehydrates a spilled id. Ids ascend monotonically and
+/// `next_id` survives restarts via the manifest, so an id is never
+/// reused — which is what keeps `(snapshot id, fingerprint)` query-cache
+/// keys collision-free across recoveries.
 pub struct SnapshotStore {
     snapshots: BTreeMap<u64, Arc<TwinSnapshot>>,
+    /// Manifest entries for every snapshot on disk (resident or spilled).
+    persisted: BTreeMap<u64, ManifestEntry>,
     next_id: u64,
     max_snapshots: usize,
     seed: u64,
+    persist_dir: Option<PathBuf>,
+    /// Per-line damage reports from a recovered manifest.
+    warnings: Vec<String>,
 }
 
 impl SnapshotStore {
-    /// Empty store holding at most `max_snapshots` snapshots, deriving
-    /// per-snapshot RNG bases from `seed`.
+    /// Empty in-memory store holding at most `max_snapshots` snapshots,
+    /// deriving per-snapshot RNG bases from `seed`.
     pub fn new(max_snapshots: usize, seed: u64) -> Self {
         SnapshotStore {
             snapshots: BTreeMap::new(),
+            persisted: BTreeMap::new(),
             next_id: 1,
             max_snapshots: max_snapshots.max(1),
             seed,
+            persist_dir: None,
+            warnings: Vec::new(),
         }
     }
 
-    /// Freeze `live` into a new snapshot. Fails when the store is full
-    /// (drop one first — eviction must be an explicit client decision,
-    /// because a snapshot may be the base of in-flight queries) or when
-    /// the twin's cooling backend cannot capture its state.
+    /// Enable the disk tier on an empty store: every subsequent adopt is
+    /// persisted under `dir`, capacity evictions spill instead of
+    /// erroring, and the manifest is kept current. Creates `dir` (and a
+    /// fresh manifest) if needed; refuses a non-empty store — enable
+    /// persistence before taking snapshots — and refuses a directory
+    /// that already holds a manifest (use [`SnapshotStore::recover`]).
+    pub fn with_persist_dir(mut self, dir: impl Into<PathBuf>) -> Result<Self, String> {
+        if !self.snapshots.is_empty() {
+            return Err("persistence must be enabled before snapshots are taken".to_string());
+        }
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot create persist dir {}: {e}", dir.display()))?;
+        if crate::persist::manifest_path(&dir).exists() {
+            return Err(format!(
+                "{} already holds a manifest; use SnapshotStore::recover to load it",
+                dir.display()
+            ));
+        }
+        self.persist_dir = Some(dir);
+        self.write_manifest().map_err(|e| e.to_string())?;
+        Ok(self)
+    }
+
+    /// Reopen the store persisted under `dir`: the manifest's identity
+    /// (`next_id`, seed, capacity) is restored and every listed snapshot
+    /// starts **spilled** — it is rehydrated from its file on first
+    /// [`SnapshotStore::get`], so recovery itself is O(manifest), not
+    /// O(total snapshot bytes). Corrupt manifest entry lines are
+    /// reported via [`SnapshotStore::recovery_warnings`], never silently
+    /// skipped; a corrupt header fails the whole recovery (typed).
+    pub fn recover(dir: impl Into<PathBuf>) -> Result<Self, PersistError> {
+        let dir = dir.into();
+        let manifest = read_manifest(&dir)?;
+        Ok(SnapshotStore {
+            snapshots: BTreeMap::new(),
+            persisted: manifest.entries.into_iter().map(|e| (e.id, e)).collect(),
+            next_id: manifest.header.next_id,
+            max_snapshots: manifest.header.max_snapshots.max(1),
+            seed: manifest.header.seed,
+            persist_dir: Some(dir),
+            warnings: manifest.damaged,
+        })
+    }
+
+    /// Re-cap an **empty** store in place, preserving its seed and any
+    /// configured persist directory (whose manifest is rewritten so the
+    /// new cap survives recovery). Errs once a snapshot exists: the cap
+    /// is serving configuration, not a runtime control.
+    pub fn set_max_snapshots(&mut self, max_snapshots: usize) -> Result<(), String> {
+        if !self.is_empty() {
+            return Err(format!(
+                "snapshot cap must be configured before serving ({} snapshots already taken)",
+                self.len()
+            ));
+        }
+        self.max_snapshots = max_snapshots.max(1);
+        if self.persist_dir.is_some() {
+            self.write_manifest().map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    }
+
+    /// Damage reports collected while recovering the manifest (empty for
+    /// a clean recovery or a store that was never recovered).
+    pub fn recovery_warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// The persist directory, when the disk tier is enabled.
+    pub fn persist_dir(&self) -> Option<&Path> {
+        self.persist_dir.as_deref()
+    }
+
+    /// Freeze `live` into a new snapshot. Without a disk tier this fails
+    /// when the store is full (drop one first — eviction must be an
+    /// explicit client decision, because a snapshot may be the base of
+    /// in-flight queries); with one, the oldest resident snapshot spills
+    /// to disk instead. Also fails when the twin's cooling backend
+    /// cannot capture its state.
     pub fn take(&mut self, live: &DigitalTwin, label: String) -> Result<Arc<TwinSnapshot>, String> {
         self.adopt(live.fork()?, label)
     }
@@ -110,7 +222,7 @@ impl SnapshotStore {
     /// service never holds the live-twin and store locks together).
     /// Same capacity rule as [`SnapshotStore::take`].
     pub fn adopt(&mut self, twin: DigitalTwin, label: String) -> Result<Arc<TwinSnapshot>, String> {
-        if self.snapshots.len() >= self.max_snapshots {
+        if self.persist_dir.is_none() && self.snapshots.len() >= self.max_snapshots {
             return Err(format!(
                 "snapshot store is full ({} of {}); drop one first",
                 self.snapshots.len(),
@@ -128,36 +240,199 @@ impl SnapshotStore {
             },
             twin,
         });
+        if self.persist_dir.is_some() {
+            // Persist before registering: an adopt either lands in both
+            // tiers or errors without changing the store.
+            self.persist_snapshot(&snapshot).map_err(|e| e.to_string())?;
+        }
         self.next_id += 1;
         self.snapshots.insert(id, Arc::clone(&snapshot));
+        self.enforce_capacity(id);
+        if self.persist_dir.is_some() {
+            self.write_manifest().map_err(|e| e.to_string())?;
+        }
         Ok(snapshot)
     }
 
+    /// Spill oldest resident snapshots until the in-memory tier is back
+    /// within capacity, keeping `keep_id` resident. Only meaningful with
+    /// a disk tier (the spilled copies are already on disk).
+    fn enforce_capacity(&mut self, keep_id: u64) {
+        if self.persist_dir.is_none() {
+            return;
+        }
+        while self.snapshots.len() > self.max_snapshots {
+            let oldest = self
+                .snapshots
+                .keys()
+                .copied()
+                .find(|&id| id != keep_id)
+                .expect("over-capacity store has a second entry");
+            self.snapshots.remove(&oldest);
+        }
+    }
+
+    /// Write one snapshot's file and record its manifest entry.
+    fn persist_snapshot(&mut self, snapshot: &TwinSnapshot) -> Result<(), PersistError> {
+        let dir = self.persist_dir.clone().expect("disk tier enabled");
+        let path = snapshot_path(&dir, snapshot.id);
+        let twin_state = snapshot.twin.save_state().map_err(|detail| PersistError::Corrupt {
+            path: path.clone(),
+            detail,
+        })?;
+        let bytes = write_json(
+            &path,
+            &PersistedSnapshot {
+                id: snapshot.id,
+                label: snapshot.label.clone(),
+                taken_at_s: snapshot.taken_at_s,
+                seed: snapshot.seed,
+                twin: twin_state,
+            },
+        )?;
+        let (running, pending) = snapshot.twin.queue_state();
+        self.persisted.insert(
+            snapshot.id,
+            ManifestEntry {
+                id: snapshot.id,
+                label: snapshot.label.clone(),
+                taken_at_s: snapshot.taken_at_s,
+                bytes,
+                running_jobs: running as u64,
+                pending_jobs: pending as u64,
+            },
+        );
+        Ok(())
+    }
+
+    fn write_manifest(&self) -> Result<(), PersistError> {
+        let dir = self.persist_dir.as_deref().expect("disk tier enabled");
+        let header = ManifestHeader {
+            manifest_format_version: MANIFEST_FORMAT_VERSION,
+            next_id: self.next_id,
+            seed: self.seed,
+            max_snapshots: self.max_snapshots,
+        };
+        let entries: Vec<ManifestEntry> = self.persisted.values().cloned().collect();
+        write_manifest(dir, &header, &entries)
+    }
+
     /// Look up a snapshot by id (an `Arc` clone, so queries keep the
-    /// frozen state alive even across a concurrent drop).
-    pub fn get(&self, id: u64) -> Option<Arc<TwinSnapshot>> {
-        self.snapshots.get(&id).cloned()
+    /// frozen state alive even across a concurrent drop). A spilled
+    /// snapshot is transparently rehydrated from disk — same id, same
+    /// seed, same frozen state, so outcomes cached against the id remain
+    /// valid. `Ok(None)` means the id does not exist; a disk-tier
+    /// failure (torn file, corrupt payload, format-version mismatch)
+    /// surfaces as a typed [`PersistError`] for that snapshot only.
+    pub fn get(&mut self, id: u64) -> Result<Option<Arc<TwinSnapshot>>, PersistError> {
+        if let Some(snapshot) = self.snapshots.get(&id) {
+            return Ok(Some(Arc::clone(snapshot)));
+        }
+        if !self.persisted.contains_key(&id) {
+            return Ok(None);
+        }
+        let snapshot = self.rehydrate(id)?;
+        self.snapshots.insert(id, Arc::clone(&snapshot));
+        self.enforce_capacity(id);
+        Ok(Some(snapshot))
     }
 
-    /// Drop a snapshot. In-flight queries holding the `Arc` finish
-    /// unaffected; the id simply stops resolving.
+    /// Load a spilled snapshot's file back into a live [`TwinSnapshot`].
+    fn rehydrate(&self, id: u64) -> Result<Arc<TwinSnapshot>, PersistError> {
+        let dir = self.persist_dir.as_deref().expect("spilled entries imply a disk tier");
+        let path = snapshot_path(dir, id);
+        let persisted: PersistedSnapshot = read_json(&path)?;
+        if persisted.id != id {
+            return Err(PersistError::Corrupt {
+                path,
+                detail: format!("file claims snapshot id {}, expected {id}", persisted.id),
+            });
+        }
+        let twin = DigitalTwin::from_state(&persisted.twin)
+            .map_err(|detail| PersistError::Corrupt { path, detail })?;
+        Ok(Arc::new(TwinSnapshot {
+            id: persisted.id,
+            label: persisted.label,
+            taken_at_s: persisted.taken_at_s,
+            seed: persisted.seed,
+            twin,
+        }))
+    }
+
+    /// Drop a snapshot from every tier: the resident copy (in-flight
+    /// queries holding the `Arc` finish unaffected), the disk file, and
+    /// the manifest entry. The id stops resolving — and because ids are
+    /// never reused, queries cached against it can never be served to a
+    /// different snapshot.
     pub fn drop_snapshot(&mut self, id: u64) -> bool {
-        self.snapshots.remove(&id).is_some()
+        let resident = self.snapshots.remove(&id).is_some();
+        let persisted = self.persisted.remove(&id).is_some();
+        if persisted {
+            if let Some(dir) = self.persist_dir.as_deref() {
+                let _ = std::fs::remove_file(snapshot_path(dir, id));
+            }
+            let _ = self.write_manifest();
+        }
+        resident || persisted
     }
 
-    /// Summaries of every held snapshot, ascending id.
+    /// Force snapshot `id`'s current state to disk (the `Persist`
+    /// protocol query). With the disk tier every adopt already persists,
+    /// so this is a re-write — useful after an off-path mutation or to
+    /// heal a damaged file. Fails without a disk tier or for an unknown
+    /// (or spilled-and-unreadable) id.
+    pub fn persist(&mut self, id: u64) -> Result<u64, String> {
+        if self.persist_dir.is_none() {
+            return Err("no persist directory configured".to_string());
+        }
+        let snapshot = self
+            .get(id)
+            .map_err(|e| e.to_string())?
+            .ok_or_else(|| format!("unknown snapshot id {id}"))?;
+        self.persist_snapshot(&snapshot).map_err(|e| e.to_string())?;
+        self.write_manifest().map_err(|e| e.to_string())?;
+        Ok(self.persisted[&id].bytes)
+    }
+
+    /// Summaries of every held snapshot (resident and spilled),
+    /// ascending id. Spilled entries are summarised from the manifest —
+    /// listing never forces a rehydrate.
     pub fn list(&self) -> Vec<SnapshotInfo> {
-        self.snapshots.values().map(|s| s.info()).collect()
+        let mut out: Vec<SnapshotInfo> = Vec::with_capacity(self.len());
+        let mut ids: Vec<u64> =
+            self.snapshots.keys().chain(self.persisted.keys()).copied().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        for id in ids {
+            if let Some(s) = self.snapshots.get(&id) {
+                out.push(s.info());
+            } else if let Some(e) = self.persisted.get(&id) {
+                out.push(SnapshotInfo {
+                    id: e.id,
+                    label: e.label.clone(),
+                    taken_at_s: e.taken_at_s,
+                    running_jobs: e.running_jobs,
+                    pending_jobs: e.pending_jobs,
+                });
+            }
+        }
+        out
     }
 
-    /// Number of held snapshots.
+    /// Number of held snapshots across both tiers.
     pub fn len(&self) -> usize {
+        let spilled = self.persisted.keys().filter(|id| !self.snapshots.contains_key(id)).count();
+        self.snapshots.len() + spilled
+    }
+
+    /// Number of snapshots resident in memory.
+    pub fn resident(&self) -> usize {
         self.snapshots.len()
     }
 
-    /// True when no snapshot is held.
+    /// True when no snapshot is held in any tier.
     pub fn is_empty(&self) -> bool {
-        self.snapshots.is_empty()
+        self.len() == 0
     }
 
     /// The service seed snapshot RNG bases derive from.
@@ -193,7 +468,7 @@ mod tests {
         assert_eq!(snap.twin().now(), 60);
         assert!(store.drop_snapshot(1));
         assert!(!store.drop_snapshot(1));
-        assert!(store.get(1).is_none());
+        assert!(store.get(1).unwrap().is_none());
     }
 
     #[test]
@@ -211,6 +486,101 @@ mod tests {
         // Ids keep ascending after a drop.
         assert_eq!(store.take(&live, "c".into()).unwrap().id, 3);
         assert_eq!(store.list().iter().map(|s| s.id).collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    fn scratch_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("exadigit-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn capacity_evictions_spill_to_disk_and_rehydrate() {
+        let dir = scratch_dir("spill");
+        let mut store =
+            SnapshotStore::new(2, 7).with_persist_dir(&dir).expect("fresh dir accepts the tier");
+        let live = live_twin();
+        store.take(&live, "a".into()).unwrap();
+        store.take(&live, "b".into()).unwrap();
+        // With a disk tier the third take spills the oldest instead of
+        // erroring.
+        store.take(&live, "c".into()).unwrap();
+        assert_eq!(store.len(), 3, "nothing vanished");
+        assert_eq!(store.resident(), 2, "capacity still bounds memory");
+        assert_eq!(
+            store.list().iter().map(|s| s.id).collect::<Vec<_>>(),
+            vec![1, 2, 3],
+            "listings merge both tiers without rehydrating"
+        );
+        // The spilled snapshot comes back bit-identical in behaviour:
+        // same id, seed, and frozen second, and its fork advances.
+        let back = store.get(1).unwrap().expect("spilled id must resolve");
+        assert_eq!(back.id, 1);
+        assert_eq!(back.label, "a");
+        assert_eq!(back.taken_at_s, 60);
+        let mut fork = back.fork().unwrap();
+        fork.run(600).unwrap();
+        assert_eq!(fork.report().jobs_completed, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_restores_identity_and_lazily_rehydrates() {
+        let dir = scratch_dir("recover");
+        {
+            let mut store = SnapshotStore::new(4, 42).with_persist_dir(&dir).unwrap();
+            let live = live_twin();
+            store.take(&live, "a".into()).unwrap();
+            store.take(&live, "b".into()).unwrap();
+            store.drop_snapshot(1);
+        } // store dropped — "process death"
+        let mut back = SnapshotStore::recover(&dir).unwrap();
+        assert!(back.recovery_warnings().is_empty());
+        assert_eq!(back.seed(), 42);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back.resident(), 0, "recovery is O(manifest): nothing rehydrated yet");
+        assert!(back.get(1).unwrap().is_none(), "dropped ids stay dropped");
+        let snap = back.get(2).unwrap().expect("persisted id survives the restart");
+        assert_eq!(snap.label, "b");
+        // next_id survived: new snapshots never reuse a pre-restart id.
+        assert_eq!(back.take(&live_twin(), "c".into()).unwrap().id, 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_snapshot_file_is_a_typed_per_snapshot_error() {
+        let dir = scratch_dir("torn");
+        {
+            let mut store = SnapshotStore::new(4, 7).with_persist_dir(&dir).unwrap();
+            store.take(&live_twin(), "a".into()).unwrap();
+        }
+        // Tear the snapshot file: drop the tail so the payload is shorter
+        // than its length prefix declares.
+        let path = snapshot_path(&dir, 1);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let mut back = SnapshotStore::recover(&dir).unwrap();
+        match back.get(1) {
+            Err(PersistError::Truncated { .. }) => {}
+            Err(e) => panic!("torn file must surface as Truncated, got {e}"),
+            Ok(_) => panic!("torn file must not resolve"),
+        }
+        // The store itself stays usable: the damage is per snapshot.
+        assert_eq!(back.take(&live_twin(), "fresh".into()).unwrap().id, 2);
+        assert!(back.get(2).unwrap().is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_dir_with_existing_manifest_is_refused() {
+        let dir = scratch_dir("refuse");
+        {
+            let _store = SnapshotStore::new(4, 7).with_persist_dir(&dir).unwrap();
+        }
+        let err = SnapshotStore::new(4, 7).with_persist_dir(&dir).err().unwrap();
+        assert!(err.contains("recover"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

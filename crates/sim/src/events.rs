@@ -36,7 +36,7 @@ use crate::series::TimeSeries;
 use std::collections::BinaryHeap;
 
 /// The typed simulation events the RAPS kernel advances between.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum EventKind {
     /// A queued job reaches its submit time and joins the pending queue.
     JobArrival,
@@ -82,7 +82,7 @@ pub struct Event {
 /// A one-shot heap entry, ordered so the `BinaryHeap` (a max-heap) pops
 /// the earliest `(time, priority, seq)` first via `Reverse`-style ordering
 /// baked into `Ord`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 struct Queued {
     time_s: u64,
     prio: u8,
@@ -104,7 +104,7 @@ impl PartialOrd for Queued {
 }
 
 /// A recurring entry firing at every positive multiple of `period_s`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
 struct Recurring {
     period_s: u64,
     kind: EventKind,
@@ -119,6 +119,36 @@ pub struct EventQueue {
     heap: BinaryHeap<Queued>,
     recurring: Vec<Recurring>,
     seq: u64,
+}
+
+/// Serialized form of an [`EventQueue`]. The heap is dumped as a vector
+/// sorted by `(time, priority, seq)` — delivery order is a pure function
+/// of that key, so the heap's internal layout never needs to survive a
+/// round trip — and recurring entries keep their registration order.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct EventQueueState {
+    one_shots: Vec<Queued>,
+    recurring: Vec<Recurring>,
+    seq: u64,
+}
+
+impl serde::Serialize for EventQueue {
+    fn to_value(&self) -> serde::Value {
+        let mut one_shots: Vec<Queued> = self.heap.iter().copied().collect();
+        one_shots.sort_by_key(|q| (q.time_s, q.prio, q.seq));
+        EventQueueState { one_shots, recurring: self.recurring.clone(), seq: self.seq }.to_value()
+    }
+}
+
+impl serde::Deserialize for EventQueue {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let state = EventQueueState::from_value(v)?;
+        Ok(EventQueue {
+            heap: state.one_shots.into_iter().collect(),
+            recurring: state.recurring,
+            seq: state.seq,
+        })
+    }
 }
 
 impl EventQueue {

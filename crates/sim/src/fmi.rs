@@ -124,6 +124,21 @@ pub trait CoSimModel: Send + Sync {
         None
     }
 
+    /// Capture the model's complete internal state as a serializable
+    /// value — the durable-snapshot companion to [`CoSimModel::fork`].
+    ///
+    /// The contract mirrors forking, across a process boundary: a model
+    /// rebuilt from this value (each backend deserializes its own state
+    /// type) and stepped with the same inputs must produce bit-identical
+    /// outputs to the original. Models that cannot serialize their state
+    /// return `None` (the default); persisting a twin coupled to such a
+    /// model fails with an explicit error rather than dropping the
+    /// cooling state silently. All built-in cooling backends (L4 plant,
+    /// L3 surrogate, L2 replay) support state capture.
+    fn save_state(&self) -> Option<serde::Value> {
+        None
+    }
+
     /// Look up a variable by exact name.
     fn var_by_name(&self, name: &str) -> Option<&VariableDescriptor> {
         self.variables().iter().find(|v| v.name == name)

@@ -32,7 +32,12 @@ fn splitmix64(state: &mut u64) -> u64 {
 /// Cloning an `Rng` forks the exact state; use [`Rng::split`] to derive an
 /// independent stream (e.g. one stream per simulated day in the 183-day
 /// replay so days can be generated in parallel yet stay reproducible).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Serialization captures the full 256-bit state plus the Box–Muller
+/// cache, so a deserialized generator continues the *same* stream: the
+/// n-th draw after a save/load round trip is bit-identical to the n-th
+/// draw without one (the durable-snapshot contract).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct Rng {
     s: [u64; 4],
     /// Cached second normal deviate from the Box–Muller pair.

@@ -113,7 +113,7 @@ impl CoolingTrace {
 /// served from the trace, and one local variable per auxiliary channel.
 ///
 /// [`CoolingCoupling::attach`]: exadigit_raps::simulation::CoolingCoupling::attach
-#[derive(Clone)]
+#[derive(Clone, Serialize, Deserialize)]
 pub struct ReplayCoolingModel {
     trace: CoolingTrace,
     vars: Vec<VariableDescriptor>,
@@ -223,6 +223,10 @@ impl CoSimModel for ReplayCoolingModel {
     fn fork(&self) -> Option<Box<dyn CoSimModel>> {
         Some(Box::new(self.clone()))
     }
+
+    fn save_state(&self) -> Option<serde::Value> {
+        Some(serde::Serialize::to_value(self))
+    }
 }
 
 /// A replayable telemetry feed: the stand-in for the live stream a
@@ -235,7 +239,7 @@ impl CoSimModel for ReplayCoolingModel {
 /// — everything submitted up to the requested second, exactly once) and
 /// carries the wet-bulb forcing plus, when lifted from a recorded day, the
 /// measured cooling trace for an L2 replay backend.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TelemetryFeed {
     /// Not-yet-delivered jobs, ascending submit time.
     jobs: VecDeque<Job>,

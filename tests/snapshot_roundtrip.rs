@@ -1,0 +1,281 @@
+//! Durable-snapshot round trip: the bit-identity contract restart
+//! recovery rests on.
+//!
+//! `load(save(sim at t)).run_until(t + h)` must be `f64::to_bits`-identical
+//! to the original simulation continuing uninterrupted — same recorded
+//! series, same energy bits, same completions — across every scheduler
+//! policy and regardless of the pool width the rehydrated copies are
+//! fanned out at. The serialized form itself must be canonical
+//! (save → load → save is byte-stable), RNG streams must continue
+//! mid-sequence without a seam (Box–Muller cache included), and UQ
+//! draws answered from a disk-rehydrated snapshot must match the
+//! resident snapshot's answers exactly.
+//!
+//! The same precision note as `service_fork.rs` applies: the fresh
+//! reference is advanced with the same `run_until(t)`-then-
+//! `run_until(t + h)` call sequence as the saved path, because pausing
+//! at `t` splits a steady-state gap's closed-form energy addition and
+//! can move `energy_j` by float associativity (~1 ULP) while every
+//! recorded series stays bit-identical.
+
+use exadigit_core::config::TwinConfig;
+use exadigit_core::twin::DigitalTwin;
+use exadigit_raps::config::{PartitionConfig, SystemConfig};
+use exadigit_raps::job::Job;
+use exadigit_raps::power::PowerDelivery;
+use exadigit_raps::scheduler::Policy;
+use exadigit_raps::simulation::RapsSimulation;
+use exadigit_service::{run_whatif, SnapshotStore, WhatIfSpec};
+use exadigit_sim::ensemble::EnsembleRunner;
+use exadigit_sim::fmi::CoSimModel;
+use exadigit_sim::Rng;
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+const POLICIES: [Policy; 4] =
+    [Policy::Fcfs, Policy::Sjf, Policy::FirstFit, Policy::EasyBackfill];
+
+fn small_config(nodes: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::frontier();
+    cfg.partitions = vec![PartitionConfig { name: "batch".into(), nodes, gpus_per_node: 4 }];
+    cfg
+}
+
+fn sim(policy: Policy) -> RapsSimulation {
+    RapsSimulation::new(small_config(96), PowerDelivery::StandardAC, policy, 15)
+}
+
+/// Everything the equivalence compares, all at bit level.
+fn state_digest(s: &RapsSimulation) -> (Vec<u64>, Vec<u64>, u64, u64, usize, usize) {
+    let out = s.outputs();
+    (
+        out.system_power_w.values.iter().map(|v| v.to_bits()).collect(),
+        out.utilization.values.iter().map(|v| v.to_bits()).collect(),
+        out.energy_j.to_bits(),
+        s.report().jobs_completed,
+        s.running_count(),
+        s.pending_count(),
+    )
+}
+
+/// Decode a saved simulation. Power-only states never invoke the
+/// cooling rebuild hook.
+fn rehydrate(json: &str) -> RapsSimulation {
+    let value: serde::Value = serde_json::from_str(json).expect("saved state parses");
+    RapsSimulation::from_state(&value, |_| -> Result<Box<dyn CoSimModel>, String> {
+        Err("power-only state has no cooling to rebuild".into())
+    })
+    .expect("saved state loads")
+}
+
+fn arbitrary_jobs() -> impl Strategy<Value = Vec<Job>> {
+    prop::collection::vec(
+        (1usize..=96, 30u64..2_400, 0u64..1_200, 0.0f32..1.0, 0.0f32..1.0),
+        1..24,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (nodes, wall, submit, cu, gu))| {
+                Job::new(i as u64, format!("j{i}"), nodes, wall, submit, cu, gu)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline invariant, for every policy and at pool widths 1 and
+    /// 4: a simulation saved mid-run and loaded back continues
+    /// bit-identically to the original running uninterrupted, the
+    /// serialized form is canonical, and saving is observation-free (the
+    /// original is unaffected by having been saved).
+    #[test]
+    fn save_load_run_equals_uninterrupted_run(
+        jobs in arbitrary_jobs(),
+        pause_at in 60u64..2_000,
+        horizon in 60u64..2_400,
+    ) {
+        for policy in POLICIES {
+            let target = pause_at + horizon;
+
+            // Uninterrupted reference, advanced with the same call
+            // sequence as the saved path (see the module docs on why the
+            // pause point is part of the energy-bit contract).
+            let mut fresh = sim(policy);
+            fresh.submit_jobs(jobs.clone());
+            fresh.run_until(pause_at).unwrap();
+            fresh.run_until(target).unwrap();
+            let reference = state_digest(&fresh);
+
+            let mut live = sim(policy);
+            live.submit_jobs(jobs.clone());
+            live.run_until(pause_at).unwrap();
+            let json = serde_json::to_string(&live.save_state().unwrap()).unwrap();
+
+            // Canonical encoding: save → load → save is byte-stable.
+            let again =
+                serde_json::to_string(&rehydrate(&json).save_state().unwrap()).unwrap();
+            prop_assert_eq!(&again, &json, "policy {:?}: second save drifted", policy);
+
+            // Two independent rehydrations continued to the horizon, at
+            // pool widths 1 and 4: both must equal the reference (and
+            // therefore each other).
+            for width in [1usize, 4] {
+                let digests = EnsembleRunner::new(0).threads(width).map(
+                    vec![(), ()],
+                    |_ctx, ()| {
+                        let mut back = rehydrate(&json);
+                        back.run_until(target).unwrap();
+                        state_digest(&back)
+                    },
+                );
+                prop_assert_eq!(
+                    &digests[0], &reference,
+                    "policy {:?}, width {}: rehydrated run diverged from the original",
+                    policy, width
+                );
+                prop_assert_eq!(
+                    &digests[0], &digests[1],
+                    "policy {:?}, width {}: two rehydrations of one save diverged",
+                    policy, width
+                );
+            }
+
+            // Saving is a pure observation: the original continues as if
+            // never serialized.
+            live.run_until(target).unwrap();
+            prop_assert_eq!(&state_digest(&live), &reference,
+                "policy {:?}: saving perturbed the original", policy);
+        }
+    }
+}
+
+/// RNG streams must continue mid-sequence across the round trip — the
+/// xoshiro state *and* the Box–Muller spare, which is why the cache is
+/// part of the serialized state: dropping it would shift every
+/// subsequent normal draw by one.
+#[test]
+fn rng_stream_continues_bit_exact_across_the_round_trip() {
+    let mut rng = Rng::new(0xDEAD_BEEF).split(3);
+    // An odd number of normals loads the Box–Muller cache.
+    for _ in 0..7 {
+        rng.standard_normal();
+    }
+    rng.next_u64();
+    let json = serde_json::to_string(&rng).unwrap();
+    let mut back: Rng = serde_json::from_str(&json).unwrap();
+    for i in 0..64 {
+        assert_eq!(rng.next_u64(), back.next_u64(), "u64 draw {i} diverged");
+        assert_eq!(
+            rng.standard_normal().to_bits(),
+            back.standard_normal().to_bits(),
+            "normal draw {i} diverged"
+        );
+    }
+}
+
+/// UQ answers from a disk-rehydrated snapshot equal the resident
+/// snapshot's answers exactly: the snapshot seed rides the file, draw
+/// streams are split per fork, and outcomes are pool-width-invariant.
+#[test]
+fn uq_draws_on_a_rehydrated_snapshot_match_the_resident_snapshot() {
+    let dir = std::env::temp_dir()
+        .join(format!("exadigit-roundtrip-uq-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = SnapshotStore::new(4, 99).with_persist_dir(&dir).unwrap();
+
+    let mut twin = DigitalTwin::new(TwinConfig::frontier_power_only()).unwrap();
+    let mut gen = exadigit_raps::workload::WorkloadGenerator::new(
+        exadigit_raps::workload::WorkloadParams::default(),
+        7,
+    );
+    twin.submit(gen.generate_day(0));
+    twin.run(3_600).unwrap();
+    let snapshot = store.take(&twin, "t1h".into()).unwrap();
+
+    let spec = WhatIfSpec { horizon_s: 1_800, draws: 8, ..WhatIfSpec::default() };
+    let resident = run_whatif(&snapshot, &spec, Some(2)).unwrap();
+    drop(snapshot);
+    drop(store);
+
+    // "Restart": recover the store from disk and ask again.
+    let mut recovered = SnapshotStore::recover(&dir).unwrap();
+    let rehydrated = recovered.get(1).unwrap().expect("persisted snapshot survives");
+    for width in [1usize, 4] {
+        let replay = run_whatif(&rehydrated, &spec, Some(width)).unwrap();
+        assert_eq!(
+            resident, replay,
+            "width {width}: UQ outcome diverged across the disk round trip"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/frontier_day_snapshot.json")
+}
+
+/// The exact twin the pinned fixture was generated from: a Frontier
+/// power-only twin carrying a generated day of jobs, paused at
+/// t = 5000 s (mid-queue, off the 15 s recording grid).
+fn frontier_day_twin() -> DigitalTwin {
+    let mut twin = DigitalTwin::new(TwinConfig::frontier_power_only()).unwrap();
+    let mut gen = exadigit_raps::workload::WorkloadGenerator::new(
+        exadigit_raps::workload::WorkloadParams::default(),
+        2024,
+    );
+    twin.submit(gen.generate_day(0));
+    twin.run(5_000).unwrap();
+    twin
+}
+
+/// Golden fixture: a serialized Frontier-day snapshot pinned in the
+/// repo. Every CI run loads it and replays four hours; if the snapshot
+/// format drifts without a version bump this fails loudly at the load,
+/// and a deliberate format change regenerates the fixture with
+/// `EXADIGIT_REGEN_FIXTURES=1 cargo test golden_fixture`.
+#[test]
+fn golden_fixture_frontier_day_loads_and_replays_bit_identically() {
+    let path = fixture_path();
+    if std::env::var("EXADIGIT_REGEN_FIXTURES").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, frontier_day_twin().to_snapshot_json().unwrap()).unwrap();
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "pinned fixture {} is unreadable ({e}); regenerate with \
+             EXADIGIT_REGEN_FIXTURES=1 cargo test golden_fixture"
+        , path.display())
+    });
+    let mut loaded = DigitalTwin::from_snapshot_json(&text).unwrap_or_else(|e| {
+        panic!(
+            "pinned Frontier-day snapshot no longer loads: {e}\n\
+             If the snapshot format changed on purpose, bump \
+             SNAPSHOT_FORMAT_VERSION (crates/core/src/twin.rs), document the \
+             change in docs/DESIGN.md, and regenerate the fixture with \
+             EXADIGIT_REGEN_FIXTURES=1 cargo test golden_fixture"
+        )
+    });
+
+    let mut fresh = frontier_day_twin();
+    assert_eq!(loaded.now(), fresh.now(), "fixture was taken at t = 5000 s");
+    loaded.run(14_400).unwrap();
+    fresh.run(14_400).unwrap();
+
+    assert_eq!(fresh.report(), loaded.report());
+    let (a, b) = (fresh.outputs(), loaded.outputs());
+    assert_eq!(a.system_power_w.values.len(), b.system_power_w.values.len());
+    for (i, (x, y)) in
+        a.system_power_w.values.iter().zip(b.system_power_w.values.iter()).enumerate()
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "power sample {i} diverged");
+    }
+    for (i, (x, y)) in a.utilization.values.iter().zip(b.utilization.values.iter()).enumerate()
+    {
+        assert_eq!(x.to_bits(), y.to_bits(), "utilization sample {i} diverged");
+    }
+    assert_eq!(a.energy_j.to_bits(), b.energy_j.to_bits(), "energy diverged");
+}
