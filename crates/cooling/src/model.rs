@@ -164,6 +164,18 @@ impl CoolingModel {
         self.var_by_name(name).map(|v| self.values[v.vr.0 as usize])
     }
 
+    /// The discrete staging regime the plant currently operates in:
+    /// `(CT cells, HTW pumps, EHXs)` staged. The PUE surface is smooth
+    /// *within* one regime and steps *across* regime boundaries (staging
+    /// a tower cell jumps fan power discontinuously), which is why
+    /// surrogate trainers fit piecewise per regime instead of one global
+    /// polynomial — the PR 3 caveat that quadratics can't track staging
+    /// cliffs.
+    pub fn staging_key(&self) -> (u32, u32, u32) {
+        let s = &self.plant.state;
+        (s.cells_staged, s.htwp_staged, s.ehx_staged)
+    }
+
     /// Pre-condition the plant: run `n` settle steps at the given uniform
     /// load fraction so validation replays start from auto-operation, as
     /// the paper's model "activates once the physical cooling system

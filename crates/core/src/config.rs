@@ -14,6 +14,7 @@
 //! `docs/FIDELITY.md` for the level → module mapping.
 
 use crate::levels::TwinLevel;
+use crate::online::{OnlineCoolingModel, OnlineSurrogateConfig};
 use crate::surrogate::{self, Surrogate, SurrogateCoolingModel};
 use exadigit_cooling::{CoolingModel, PlantSpec};
 use exadigit_raps::config::SystemConfig;
@@ -51,6 +52,12 @@ pub enum CoolingBackend {
     /// L3 predictive surrogate serving PUE/cooling power from a fitted
     /// polynomial.
     Surrogate(SurrogateSource),
+    /// Adaptive L3/L4: the embedded transient plant serves every query
+    /// while per-staging-regime surrogates train online from its
+    /// answers; trusted regimes are then served at L3 speed with
+    /// automatic L4 fallback outside their observed envelopes
+    /// ([`crate::online::OnlineCoolingModel`]).
+    Online(OnlineSurrogateConfig),
     /// L2 informative replay answering from a recorded telemetry trace.
     Replay(CoolingTrace),
 }
@@ -63,6 +70,10 @@ impl CoolingBackend {
             CoolingBackend::None => None,
             CoolingBackend::Replay(_) => Some(TwinLevel::Informative),
             CoolingBackend::Surrogate(_) => Some(TwinLevel::Predictive),
+            // Online answers are either the comprehensive plant itself
+            // or a fit validated against it, with guaranteed fallback —
+            // fidelity is bounded below by L4, not by the surrogate.
+            CoolingBackend::Online(_) => Some(TwinLevel::Comprehensive),
             CoolingBackend::Plant => Some(TwinLevel::Comprehensive),
         }
     }
@@ -71,7 +82,7 @@ impl CoolingBackend {
     /// model from [`TwinConfig::plant`] (and therefore requires the
     /// system/plant CDU counts to agree).
     pub fn attaches_plant(&self) -> bool {
-        matches!(self, CoolingBackend::Plant)
+        matches!(self, CoolingBackend::Plant | CoolingBackend::Online(_))
     }
 
     /// Materialise the backend as a co-simulation model exposing the
@@ -97,6 +108,10 @@ impl CoolingBackend {
                     SurrogateSource::Fitted(s) => s.clone(),
                 };
                 Ok(Some(Box::new(SurrogateCoolingModel::for_plant(fitted, plant, num_cdus))))
+            }
+            CoolingBackend::Online(config) => {
+                let model = OnlineCoolingModel::new(plant, config.clone())?;
+                Ok(Some(Box::new(model)))
             }
             CoolingBackend::Replay(trace) => {
                 Ok(Some(Box::new(ReplayCoolingModel::new(trace.clone(), num_cdus))))
@@ -147,11 +162,13 @@ impl TwinConfig {
     }
 
     /// Set the output recording cadence (builder style). 15 s matches
-    /// the paper's telemetry quantum; raise it for multi-week studies —
-    /// with 15 s recording the event kernel's structural speedup ceiling
-    /// is ~15× because the 5,760 daily record boundaries are irreducible
-    /// events (see `DESIGN.md` § "Discrete-event kernel"). Validated by
-    /// [`TwinConfig::validate`]: must be positive and at most 7 days.
+    /// the paper's telemetry quantum. Record boundaries are *not*
+    /// events: the kernel backfills the samples a quiet gap spanned in
+    /// closed form, so even 1 s recording costs O(events), not
+    /// O(samples) (see `DESIGN.md` § "Discrete-event kernel"). The
+    /// cadence therefore trades only memory — samples retained — not
+    /// speed. Validated by [`TwinConfig::validate`]: must be positive
+    /// and at most 7 days.
     pub fn with_record_every_s(mut self, record_every_s: u64) -> Self {
         self.record_every_s = record_every_s;
         self
@@ -273,7 +290,14 @@ mod tests {
             Some(TwinLevel::Predictive)
         );
         assert_eq!(CoolingBackend::Plant.level(), Some(TwinLevel::Comprehensive));
+        // Online embeds the plant and never extrapolates past it, so its
+        // fidelity floor — and its level — is comprehensive.
+        assert_eq!(
+            CoolingBackend::Online(OnlineSurrogateConfig::default()).level(),
+            Some(TwinLevel::Comprehensive)
+        );
         assert!(CoolingBackend::Plant.attaches_plant());
+        assert!(CoolingBackend::Online(OnlineSurrogateConfig::default()).attaches_plant());
         assert!(!CoolingBackend::Surrogate(SurrogateSource::TrainDefault).attaches_plant());
     }
 
@@ -282,6 +306,7 @@ mod tests {
         for cooling in [
             CoolingBackend::None,
             CoolingBackend::Plant,
+            CoolingBackend::Online(OnlineSurrogateConfig::default()),
             CoolingBackend::Replay(CoolingTrace::constant(1.07, 4.0e5)),
         ] {
             let cfg = TwinConfig::frontier().with_backend(cooling);
@@ -299,8 +324,9 @@ mod tests {
 
     #[test]
     fn record_cadence_builder_validates_bounds() {
-        // Hourly recording for multi-week studies is the documented way
-        // past the ~15× event-kernel ceiling.
+        // Hourly recording keeps multi-week studies' output vectors
+        // small (the lazy backfill already makes the cadence free in
+        // time; memory is what the knob still buys).
         let cfg = TwinConfig::frontier().with_record_every_s(3_600);
         cfg.validate().unwrap();
         assert_eq!(cfg.record_every_s, 3_600);

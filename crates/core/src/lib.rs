@@ -50,11 +50,13 @@
 pub mod config;
 pub mod ensemble;
 pub mod levels;
+pub mod online;
 pub mod surrogate;
 pub mod twin;
 pub mod whatif;
 
 pub use config::{CoolingBackend, SurrogateSource, TwinConfig};
+pub use online::{OnlineCoolingModel, OnlineSurrogateConfig};
 pub use ensemble::{EnsembleRunner, ScenarioOutcome, TwinScenario};
 pub use levels::TwinLevel;
 pub use surrogate::Surrogate;

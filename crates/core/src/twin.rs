@@ -15,6 +15,7 @@
 
 use crate::config::{CoolingBackend, TwinConfig};
 use crate::levels::TwinLevel;
+use crate::online::OnlineCoolingModel;
 use crate::surrogate::SurrogateCoolingModel;
 use exadigit_cooling::CoolingModel;
 use exadigit_raps::job::Job;
@@ -248,6 +249,10 @@ fn rebuild_cooling_model(
         CoolingBackend::Surrogate(_) => Ok(Box::new(
             <SurrogateCoolingModel as serde::Deserialize>::from_value(state)
                 .map_err(|e| format!("invalid L3 surrogate state in snapshot: {e}"))?,
+        )),
+        CoolingBackend::Online(_) => Ok(Box::new(
+            <OnlineCoolingModel as serde::Deserialize>::from_value(state)
+                .map_err(|e| format!("invalid online L3/L4 state in snapshot: {e}"))?,
         )),
         CoolingBackend::Replay(_) => Ok(Box::new(
             <ReplayCoolingModel as serde::Deserialize>::from_value(state)

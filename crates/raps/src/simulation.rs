@@ -16,7 +16,13 @@
 //! straight from one event second to the next
 //! (an [`exadigit_sim::events::EventQueue`] calendar), integrating energy
 //! and the per-second summary statistics in closed form over the
-//! constant-power gap between events ([`Welford::push_n`]). Scheduling
+//! constant-power gap between events ([`Welford::push_n`]). Quantum and
+//! record recurrences only *materialise* as events on the eager path (a
+//! cooling model attached or a time-varying utilization trace running);
+//! otherwise the kernel jumps one-shot to one-shot and backfills the
+//! record samples the gap spanned in bulk
+//! ([`exadigit_sim::TimeSeries::push_n`]), so a quiet multi-week horizon
+//! costs O(events), not O(samples). Scheduling
 //! passes only run at event seconds, plus one echo second after any pass
 //! that started jobs (starts reorder the pending queue, so the reference
 //! loop can admit a newly fronted job on the very next pass); a pass with
@@ -77,6 +83,12 @@ pub struct CoolingCoupling {
     it_power_input: Option<VarRef>,
     pue_output: Option<VarRef>,
     cooling_power_output: Option<VarRef>,
+    /// Inputs as last forwarded across the boundary. `set_real` is
+    /// idempotent, so bit-equal values are skipped — load only changes
+    /// at job events, which makes most 15 s quanta send-free.
+    last_cdu_heat_w: Vec<f64>,
+    last_wet_bulb_c: f64,
+    last_it_power_w: f64,
 }
 
 impl CoolingCoupling {
@@ -105,6 +117,9 @@ impl CoolingCoupling {
             it_power_input,
             pue_output,
             cooling_power_output,
+            last_cdu_heat_w: vec![f64::NAN; num_cdus],
+            last_wet_bulb_c: f64::NAN,
+            last_it_power_w: f64::NAN,
         })
     }
 
@@ -119,6 +134,9 @@ impl CoolingCoupling {
             it_power_input: self.it_power_input,
             pue_output: self.pue_output,
             cooling_power_output: self.cooling_power_output,
+            last_cdu_heat_w: self.last_cdu_heat_w.clone(),
+            last_wet_bulb_c: self.last_wet_bulb_c,
+            last_it_power_w: self.last_it_power_w,
         })
     }
 }
@@ -310,7 +328,10 @@ impl RapsSimulation {
         events.schedule_every(COOLING_PERIOD_S, EventKind::CoolingQuantum);
         // Record boundaries on the quantum grid are already covered by the
         // quantum events (the handler records by modulo, not by payload);
-        // a separate recurrence is only needed off-grid.
+        // a separate recurrence is only needed off-grid. Both recurrences
+        // are *virtual* on the lazy path: `run_until` skips them wholesale
+        // over quiet gaps and backfills the record samples in closed form
+        // — they only materialise as stepped seconds on the eager path.
         if !record_every_s.is_multiple_of(COOLING_PERIOD_S) {
             events.schedule_every(record_every_s, EventKind::RecordBoundary);
         }
@@ -653,15 +674,83 @@ impl RapsSimulation {
     /// event to event.
     ///
     /// Between consecutive events the snapshot is provably constant, so
-    /// the gap's energy is `gap × P` in closed form and the per-second
-    /// summary statistics absorb the gap through [`Welford::push_n`].
-    /// Equivalent to [`Self::run_until_per_second`] (same completions,
-    /// same recorded series bit-for-bit, energy within float rounding) at
-    /// O(events) instead of O(seconds) — the golden `event_kernel` test
-    /// and the cross-mode property tests pin this.
+    /// the gap's energy is `gap × P` in closed form, the per-second
+    /// summary statistics absorb the gap through [`Welford::push_n`], and
+    /// the record samples the gap spans are backfilled in bulk
+    /// (`backfill_records`) instead of making every record
+    /// boundary an event — a quiet gap costs O(1) no matter how many
+    /// boundaries it crosses, so multi-week horizons cost O(events), not
+    /// O(samples). Equivalent to [`Self::run_until_per_second`] (same
+    /// completions, same recorded series bit-for-bit, energy within float
+    /// rounding) — the golden `event_kernel` test and the cross-mode
+    /// property tests pin this.
     pub fn run_until(&mut self, horizon_s: u64) -> Result<(), FmiError> {
         while self.clock.elapsed() < horizon_s {
             let now = self.clock.elapsed();
+
+            // Lazy path: with no recompute owed, no scheduling echo, no
+            // cooling model, and no time-varying utilization trace, every
+            // second up to the next *one-shot* event (arrival/completion)
+            // is provably silent — quantum and record recurrences would
+            // only re-observe the held snapshot. Jump straight there,
+            // backfilling the skipped record samples in closed form.
+            // A *quasi-static* cooling model (L3 serving with held
+            // inputs) takes the same jump with its quanta batched —
+            // `batch_cooled_gap` below.
+            if !self.power_dirty
+                && !self.sched_echo
+                && self.cooling.is_none()
+                && self.variable_running == 0
+            {
+                // A one-shot scheduled in the past still fires on the
+                // next second, exactly as `next_after` would clamp it.
+                let target =
+                    self.events.next_one_shot().map_or(u64::MAX, |t| t.max(now + 1));
+                if target > horizon_s {
+                    // No event inside the horizon: one closed-form jump,
+                    // recording through the horizon itself.
+                    self.account_steady(horizon_s - now);
+                    self.backfill_records(now, horizon_s);
+                    self.events.skip_recurring_through(horizon_s);
+                    self.clock.advance(horizon_s - now);
+                    break;
+                }
+                // Seconds strictly before `target` hold the snapshot (so
+                // their record samples backfill); the event second itself
+                // is accounted and recorded by `step_second`. Recurrences
+                // are skipped *before* the drain so it stays O(due
+                // one-shots) instead of replaying every skipped fire.
+                self.account_steady(target - now - 1);
+                self.backfill_records(now, target - 1);
+                self.clock.advance(target - now);
+                self.events.skip_recurring_through(target);
+                self.events.drain_due(target, &mut self.event_buf);
+                let completion_due = self
+                    .event_buf
+                    .iter()
+                    .any(|e| e.kind == EventKind::JobCompletion);
+                self.event_buf.clear();
+                self.step_second(target, true, completion_due)?;
+                continue;
+            }
+
+            // Cooled lazy path: same steadiness preconditions, cooling
+            // attached. If the model reports itself quasi-static for the
+            // gap's (constant) inputs, its quanta collapse into one
+            // `repeat_step` and the jump proceeds exactly as above.
+            if !self.power_dirty
+                && !self.sched_echo
+                && self.cooling.is_some()
+                && self.variable_running == 0
+                && self.batch_cooled_gap(now, horizon_s)?
+            {
+                continue;
+            }
+
+            // Eager path (recompute owed, scheduling echo, cooling model
+            // attached, or a variable utilization trace running): advance
+            // event-to-event, where recurrences *are* events because the
+            // quantum may genuinely change state.
             let mut next = self.events.next_after(now).unwrap_or(u64::MAX);
             if self.power_dirty || self.sched_echo {
                 // A recompute is owed (fresh simulation or external state
@@ -673,6 +762,8 @@ impl RapsSimulation {
             if next > horizon_s {
                 // No event inside the horizon: one closed-form jump.
                 self.account_steady(horizon_s - now);
+                self.backfill_records(now, horizon_s);
+                self.events.skip_recurring_through(horizon_s);
                 self.clock.advance(horizon_s - now);
                 break;
             }
@@ -681,26 +772,6 @@ impl RapsSimulation {
             // `step_second` after handlers run.
             self.account_steady(next - now - 1);
             self.clock.advance(next - now);
-
-            // Fast path for a "silent" quantum/record second: no one-shot
-            // event due (arrivals and completions always have one), no
-            // recompute owed, no scheduling echo, no cooling model to
-            // step, and no time-varying utilization trace. `step_second`
-            // would touch nothing but the accounting tail, so run exactly
-            // that tail inline. (The no-cooling golden test and the
-            // cross-mode property tests run through this path.)
-            let one_shot_due = self.events.next_one_shot().is_some_and(|t| t <= next);
-            if !one_shot_due
-                && !self.power_dirty
-                && !self.sched_echo
-                && self.cooling.is_none()
-                && self.variable_running == 0
-            {
-                self.events.skip_recurring_through(next);
-                self.outputs.energy_j += self.snapshot.system_w;
-                self.record_second(next);
-                continue;
-            }
 
             self.events.drain_due(next, &mut self.event_buf);
             let completion_due = self
@@ -723,6 +794,93 @@ impl RapsSimulation {
             self.tick()?;
         }
         Ok(())
+    }
+
+    /// Try to jump a steady gap with the cooling model attached, batching
+    /// the cooling quanta it spans through [`CoSimModel::repeat_step`].
+    ///
+    /// Sound only when every swallowed quantum would have sent bit-equal
+    /// inputs and read bit-equal outputs: the power snapshot is already
+    /// provably constant (the caller's guards), the wet-bulb forcing must
+    /// sample equal at the gap's first and last quantum (one linear
+    /// segment — breakpoints are one-shot events — so equal endpoints
+    /// mean a flat segment), and the model itself must declare repeated
+    /// steps collapsible ([`CoSimModel::quasi_static`]). Any other case
+    /// returns `Ok(false)` and the eager path steps quantum by quantum.
+    /// The L4 plant never reports quasi-static, so transient cooling is
+    /// untouched; the online L3/L4 backend reports it exactly while a
+    /// trusted fit serves, which is what takes a *trained* cooled replay
+    /// to O(events) — the same complexity the no-cooling path has.
+    fn batch_cooled_gap(&mut self, now: u64, horizon_s: u64) -> Result<bool, FmiError> {
+        let target = self.events.next_one_shot().map_or(u64::MAX, |t| t.max(now + 1));
+        // Quanta the jump swallows: in `(now, target)` when an event
+        // lands inside the horizon (the event second itself goes through
+        // `step_second`), else through the horizon second inclusive (the
+        // per-second loop steps it; the break path must account it).
+        let last_swallowed = if target > horizon_s { horizon_s } else { target - 1 };
+        let k = last_swallowed / COOLING_PERIOD_S - now / COOLING_PERIOD_S;
+        if k == 0 {
+            return Ok(false);
+        }
+        let first_q = (now / COOLING_PERIOD_S + 1) * COOLING_PERIOD_S;
+        let last_q = (last_swallowed / COOLING_PERIOD_S) * COOLING_PERIOD_S;
+        let wb = self.wet_bulb.sample_at(first_q as f64);
+        if wb.to_bits() != self.wet_bulb.sample_at(last_q as f64).to_bits() {
+            return Ok(false);
+        }
+        self.forward_cooling_inputs(wb)?;
+        let cooling = self.cooling.as_mut().expect("caller checked");
+        if !cooling.model.quasi_static() {
+            return Ok(false);
+        }
+        cooling.model.repeat_step(k);
+        if let Some(vr) = cooling.pue_output {
+            let pue = cooling.model.get_real(vr)?;
+            self.outputs.pue.push_n(pue, k as usize);
+            self.outputs.pue_stats.push_n(pue, k);
+        }
+        // The jump itself — identical arithmetic to the no-cooling lazy
+        // path above.
+        if target > horizon_s {
+            self.account_steady(horizon_s - now);
+            self.backfill_records(now, horizon_s);
+            self.events.skip_recurring_through(horizon_s);
+            self.clock.advance(horizon_s - now);
+        } else {
+            self.account_steady(target - now - 1);
+            self.backfill_records(now, target - 1);
+            self.clock.advance(target - now);
+            self.events.skip_recurring_through(target);
+            self.events.drain_due(target, &mut self.event_buf);
+            let completion_due =
+                self.event_buf.iter().any(|e| e.kind == EventKind::JobCompletion);
+            self.event_buf.clear();
+            self.step_second(target, true, completion_due)?;
+        }
+        Ok(true)
+    }
+
+    /// Materialise the record samples a constant-power gap spans: every
+    /// record boundary in `(after_s, through_s]` would have recorded the
+    /// held snapshot verbatim, so push the identical samples in bulk. The
+    /// boundary count is closed-form (`⌊through/r⌋ − ⌊after/r⌋`) and the
+    /// record cursor is *derived* — the series length says how many
+    /// boundaries have been recorded — so nothing new needs to round-trip
+    /// through the snapshot serde: a save/load mid-gap resumes the
+    /// backfill from the restored clock alone. Bit-identical to visiting
+    /// each boundary: the recorded value is the same f64 either way (the
+    /// snapshot is provably constant over the gap — the same lemma that
+    /// lets the quantum recompute be skipped).
+    fn backfill_records(&mut self, after_s: u64, through_s: u64) {
+        let k = (through_s / self.record_every_s - after_s / self.record_every_s) as usize;
+        if k == 0 {
+            return;
+        }
+        let util = self.utilization();
+        self.outputs.system_power_w.push_n(self.snapshot.system_w, k);
+        self.outputs.loss_w.push_n(self.snapshot.loss_w, k);
+        self.outputs.utilization.push_n(util, k);
+        self.outputs.efficiency.push_n(self.snapshot.efficiency, k);
     }
 
     /// Account `seconds` of steady state (no events): energy integrates
@@ -995,16 +1153,40 @@ impl RapsSimulation {
         self.snapshot = self.model.evaluate(&self.acc);
     }
 
-    fn step_cooling(&mut self, now: u64) -> Result<(), FmiError> {
+    /// Forward the held snapshot (and `wb`) across the FMI boundary.
+    /// `set_real` is idempotent, so values bit-equal to the last send are
+    /// skipped — between job events only the weather can change, which
+    /// makes most 15 s quanta send-free.
+    fn forward_cooling_inputs(&mut self, wb: f64) -> Result<(), FmiError> {
         let Some(cooling) = &mut self.cooling else { return Ok(()) };
         for (i, &vr) in cooling.cdu_inputs.iter().enumerate() {
-            cooling.model.set_real(vr, self.snapshot.cdu_heat_w[i])?;
+            let heat = self.snapshot.cdu_heat_w[i];
+            if heat.to_bits() != cooling.last_cdu_heat_w[i].to_bits() {
+                cooling.model.set_real(vr, heat)?;
+                cooling.last_cdu_heat_w[i] = heat;
+            }
+        }
+        if wb.to_bits() != cooling.last_wet_bulb_c.to_bits() {
+            cooling.model.set_real(cooling.wet_bulb_input, wb)?;
+            cooling.last_wet_bulb_c = wb;
+        }
+        if let Some(vr) = cooling.it_power_input {
+            let it_power = self.snapshot.system_w;
+            if it_power.to_bits() != cooling.last_it_power_w.to_bits() {
+                cooling.model.set_real(vr, it_power)?;
+                cooling.last_it_power_w = it_power;
+            }
+        }
+        Ok(())
+    }
+
+    fn step_cooling(&mut self, now: u64) -> Result<(), FmiError> {
+        if self.cooling.is_none() {
+            return Ok(());
         }
         let wb = self.wet_bulb.sample_at(now as f64);
-        cooling.model.set_real(cooling.wet_bulb_input, wb)?;
-        if let Some(vr) = cooling.it_power_input {
-            cooling.model.set_real(vr, self.snapshot.system_w)?;
-        }
+        self.forward_cooling_inputs(wb)?;
+        let cooling = self.cooling.as_mut().expect("checked above");
         cooling
             .model
             .do_step((now - COOLING_PERIOD_S) as f64, COOLING_PERIOD_S as f64)?;

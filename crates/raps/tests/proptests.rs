@@ -185,7 +185,10 @@ proptest! {
             1..24,
         ),
         policy_idx in 0usize..4,
-        record_every in 15u64..120,
+        // Per-second recording (nothing to backfill), telemetry-grade
+        // cadences (on- and off-grid), and hourly multi-week cadence
+        // (whole runs inside one record gap) all pin bit-identical.
+        record_every in prop::sample::select(vec![1u64, 15, 60, 97, 120, 3_600]),
     ) {
         let policy = [Policy::Fcfs, Policy::Sjf, Policy::FirstFit, Policy::EasyBackfill][policy_idx];
         let jobs: Vec<Job> = specs
@@ -226,11 +229,84 @@ proptest! {
         // Final free-list state of the node pool.
         prop_assert_eq!(ev.pool(), ps.pool());
         prop_assert_eq!(ev.pool().free_nodes(0), ps.pool().free_nodes(0));
-        // Recorded series ride along bit-identically.
-        let (se, sp) = (&ev.outputs().utilization.values, &ps.outputs().utilization.values);
-        prop_assert_eq!(se.len(), sp.len());
-        for (a, b) in se.iter().zip(sp) {
-            prop_assert_eq!(a.to_bits(), b.to_bits());
+        // Every recorded series rides along bit-identically — the lazy
+        // backfill's samples are the same f64s the eager kernel records.
+        let (oe, op) = (ev.outputs(), ps.outputs());
+        for (a, b) in [
+            (&oe.utilization, &op.utilization),
+            (&oe.system_power_w, &op.system_power_w),
+            (&oe.loss_w, &op.loss_w),
+            (&oe.efficiency, &op.efficiency),
+        ] {
+            prop_assert_eq!(a.values.len(), b.values.len());
+            for (x, y) in a.values.iter().zip(&b.values) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// Interleaving per-second `tick()` stretches with event-driven
+    /// `run_until` jumps is still the same simulation as a pure
+    /// per-second loop: the record cursor is derived from series length
+    /// and clock, so switching stepping modes mid-gap can neither skip
+    /// nor duplicate a boundary. Recorded series pin bit-identical.
+    #[test]
+    fn mixed_tick_and_event_stepping_bit_identical(
+        specs in prop::collection::vec(
+            (1usize..=96, 0u64..1_500, 0u64..900, 0.0f32..1.0, 0.0f32..1.0),
+            1..16,
+        ),
+        policy_idx in 0usize..4,
+        record_every in prop::sample::select(vec![1u64, 15, 60, 97, 120, 3_600]),
+        segments in prop::collection::vec((any::<bool>(), 1u64..600), 1..12),
+    ) {
+        let policy = [Policy::Fcfs, Policy::Sjf, Policy::FirstFit, Policy::EasyBackfill][policy_idx];
+        let jobs: Vec<Job> = specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (nodes, wall, submit, cu, gu))| {
+                Job::new(i as u64, format!("j{i}"), nodes, wall, submit, cu, gu)
+            })
+            .collect();
+        let new_sim = || {
+            let mut sim = RapsSimulation::new(
+                small_config(128),
+                PowerDelivery::StandardAC,
+                policy,
+                record_every,
+            );
+            sim.submit_jobs(jobs.clone());
+            sim
+        };
+        let mut mixed = new_sim();
+        let mut total = 0u64;
+        for &(event_mode, len) in &segments {
+            total += len;
+            if event_mode {
+                mixed.run_until(total).unwrap();
+            } else {
+                for _ in 0..len {
+                    mixed.tick().unwrap();
+                }
+            }
+        }
+        let mut reference = new_sim();
+        reference.run_until_per_second(total).unwrap();
+        let (rm, rr) = (mixed.report(), reference.report());
+        prop_assert_eq!(rm.jobs_completed, rr.jobs_completed);
+        prop_assert_eq!(rm.jobs_unfinished, rr.jobs_unfinished);
+        prop_assert_eq!(mixed.pool(), reference.pool());
+        let (om, or) = (mixed.outputs(), reference.outputs());
+        for (a, b) in [
+            (&om.utilization, &or.utilization),
+            (&om.system_power_w, &or.system_power_w),
+            (&om.loss_w, &or.loss_w),
+            (&om.efficiency, &or.efficiency),
+        ] {
+            prop_assert_eq!(a.values.len(), b.values.len());
+            for (x, y) in a.values.iter().zip(&b.values) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
         }
     }
 

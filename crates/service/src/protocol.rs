@@ -95,6 +95,22 @@ pub struct ServerStatus {
     pub cache_misses: u64,
     /// Live twin's latest PUE (`None` without cooling).
     pub pue: Option<f64>,
+    /// Queries the pre-trained L3 surrogate answered outside its
+    /// training envelope (`None` unless the backend is
+    /// `CoolingBackend::Surrogate`). Non-zero means the envelope no
+    /// longer covers the operating range — retrain or switch to the
+    /// online backend, whose fallback makes extrapolation structurally
+    /// impossible.
+    pub surrogate_extrapolations: Option<u64>,
+    /// Cooling quanta the online backend served from a trusted
+    /// per-regime fit (`None` unless the backend is
+    /// `CoolingBackend::Online`).
+    pub online_l3_steps: Option<u64>,
+    /// Cooling quanta the online backend paid the L4 transient plant
+    /// for — training observations plus envelope-miss fallbacks.
+    pub online_l4_steps: Option<u64>,
+    /// Staging regimes whose online fit is currently inside tolerance.
+    pub online_trusted_regimes: Option<u64>,
 }
 
 /// A server response (one JSON line).

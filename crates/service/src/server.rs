@@ -32,6 +32,9 @@ struct LiveState {
     twin: DigitalTwin,
     feed: TelemetryFeed,
     jobs_ingested: u64,
+    /// Successful `Advance` batches since the last checkpoint (manual
+    /// or automatic); drives the opt-in auto-checkpoint cadence.
+    batches_since_checkpoint: u64,
 }
 
 /// On-disk form of the live-twin checkpoint (`live.json`): the twin's
@@ -53,6 +56,9 @@ pub struct TwinService {
     cache: Mutex<QueryCache>,
     /// Pool width for query fan-out (`None` = process default).
     threads: Option<usize>,
+    /// Checkpoint the live twin after every N successful ingest batches
+    /// (`None` = checkpoints stay explicit-only).
+    auto_checkpoint_every: Option<u64>,
 }
 
 impl TwinService {
@@ -64,10 +70,16 @@ impl TwinService {
         let mut twin = DigitalTwin::new(config)?;
         twin.set_wet_bulb(feed.wet_bulb().clone());
         Ok(TwinService {
-            live: Mutex::new(LiveState { twin, feed, jobs_ingested: 0 }),
+            live: Mutex::new(LiveState {
+                twin,
+                feed,
+                jobs_ingested: 0,
+                batches_since_checkpoint: 0,
+            }),
             snapshots: Mutex::new(SnapshotStore::new(32, seed)),
             cache: Mutex::new(QueryCache::new(1024)),
             threads: None,
+            auto_checkpoint_every: None,
         })
     }
 
@@ -127,10 +139,12 @@ impl TwinService {
                 twin,
                 feed: checkpoint.feed,
                 jobs_ingested: checkpoint.jobs_ingested,
+                batches_since_checkpoint: 0,
             }),
             snapshots: Mutex::new(store),
             cache: Mutex::new(QueryCache::new(1024)),
             threads: None,
+            auto_checkpoint_every: None,
         })
     }
 
@@ -167,6 +181,28 @@ impl TwinService {
         self
     }
 
+    /// Opt in to automatic checkpoints (builder style): after every
+    /// `batches` successful `Advance` requests the live twin is
+    /// checkpointed exactly as [`Request::Checkpoint`] would, bounding
+    /// how much ingest a crash can lose without any client discipline.
+    /// Requires the durable tier ([`TwinService::with_persist_dir`] or
+    /// [`TwinService::recover`]) to be configured first — an
+    /// auto-checkpoint with nowhere to write would turn every Nth
+    /// advance into an error.
+    pub fn with_auto_checkpoint_every(mut self, batches: u64) -> Result<Self, String> {
+        if batches == 0 {
+            return Err("auto-checkpoint cadence must be at least 1 batch".to_string());
+        }
+        if self.snapshots.lock().persist_dir().is_none() {
+            return Err(
+                "auto-checkpoint needs a persist directory; call with_persist_dir first"
+                    .to_string(),
+            );
+        }
+        self.auto_checkpoint_every = Some(batches);
+        Ok(self)
+    }
+
     /// Handle one request. Thread-safe: ingest serialises on the live
     /// twin, queries run lock-free after resolving their snapshot.
     pub fn handle(&self, request: &Request) -> Response {
@@ -189,9 +225,25 @@ impl TwinService {
         // the cache and snapshot stores: holding live across the other
         // locks would let a long Advance wedge every Status probe that
         // queued behind it on those stores.
-        let (now_s, running_jobs, pending_jobs, jobs_ingested, feed_pending_jobs, pue) = {
+        let (
+            now_s,
+            running_jobs,
+            pending_jobs,
+            jobs_ingested,
+            feed_pending_jobs,
+            pue,
+            surrogate_extrapolations,
+            online_l3_steps,
+            online_l4_steps,
+            online_trusted_regimes,
+        ) = {
             let live = self.live.lock();
             let (running, pending) = live.twin.queue_state();
+            // Fidelity diagnostics ride the same FMI locals every other
+            // probe uses; backends that don't expose a counter simply
+            // answer None and the field stays absent.
+            let counter =
+                |name: &str| live.twin.cooling_output(name).map(|v| v as u64);
             (
                 live.twin.now(),
                 running as u64,
@@ -199,6 +251,10 @@ impl TwinService {
                 live.jobs_ingested,
                 live.feed.pending_jobs() as u64,
                 live.twin.cooling_output("pue"),
+                counter("surrogate.extrapolation_count"),
+                counter("online.l3_steps"),
+                counter("online.l4_steps"),
+                counter("online.trusted_regimes"),
             )
         };
         let (cache_entries, cache_hits, cache_misses) = {
@@ -217,6 +273,10 @@ impl TwinService {
             cache_hits,
             cache_misses,
             pue,
+            surrogate_extrapolations,
+            online_l3_steps,
+            online_l4_steps,
+            online_trusted_regimes,
         })
     }
 
@@ -232,18 +292,40 @@ impl TwinService {
                 ),
             };
         }
-        let mut live = self.live.lock();
-        let target = live.twin.now() + seconds;
-        let batch = live.feed.poll(target);
-        let ingested = batch.len() as u64;
-        live.jobs_ingested += ingested;
-        if !batch.is_empty() {
-            live.twin.submit(batch);
+        let (now_s, ingested, checkpoint_due) = {
+            let mut live = self.live.lock();
+            let target = live.twin.now() + seconds;
+            let batch = live.feed.poll(target);
+            let ingested = batch.len() as u64;
+            live.jobs_ingested += ingested;
+            if !batch.is_empty() {
+                live.twin.submit(batch);
+            }
+            if let Err(e) = live.twin.run(seconds) {
+                return Response::Error { message: format!("advance failed: {e}") };
+            }
+            live.batches_since_checkpoint += 1;
+            let due = self
+                .auto_checkpoint_every
+                .is_some_and(|n| live.batches_since_checkpoint >= n);
+            if due {
+                live.batches_since_checkpoint = 0;
+            }
+            (live.twin.now(), ingested, due)
+        };
+        // The auto-checkpoint runs outside the live lock (checkpoint()
+        // re-takes it), so a slow disk delays this one response but
+        // never wedges concurrent requests behind the ingest mutex.
+        if checkpoint_due {
+            if let Response::Error { message } = self.checkpoint() {
+                return Response::Error {
+                    message: format!(
+                        "advance succeeded (t = {now_s} s) but the auto-checkpoint failed: {message}"
+                    ),
+                };
+            }
         }
-        match live.twin.run(seconds) {
-            Ok(()) => Response::Advanced { now_s: live.twin.now(), jobs_ingested: ingested },
-            Err(e) => Response::Error { message: format!("advance failed: {e}") },
-        }
+        Response::Advanced { now_s, jobs_ingested: ingested }
     }
 
     fn take_snapshot(&self, label: String) -> Response {
@@ -296,7 +378,14 @@ impl TwinService {
             };
         };
         match write_json(&checkpoint_path(dir), &checkpoint) {
-            Ok(bytes) => Response::Checkpointed { now_s: checkpoint.now_s, bytes },
+            Ok(bytes) => {
+                // A durable checkpoint restarts the auto-cadence clock
+                // whether it was manual or automatic: the crash-loss
+                // bound is "batches since last durable write".
+                drop(store);
+                self.live.lock().batches_since_checkpoint = 0;
+                Response::Checkpointed { now_s: checkpoint.now_s, bytes }
+            }
             Err(e) => Response::Error { message: format!("checkpoint failed: {e}") },
         }
     }
@@ -308,24 +397,20 @@ impl TwinService {
         }
     }
 
-    fn resolve(&self, snapshot_id: u64) -> Result<Arc<TwinSnapshot>, Response> {
+    fn resolve(&self, snapshot_id: u64) -> Result<Arc<TwinSnapshot>, String> {
         match self.snapshots.lock().get(snapshot_id) {
             Ok(Some(snapshot)) => Ok(snapshot),
-            Ok(None) => Err(Response::Error {
-                message: format!("unknown snapshot {snapshot_id}"),
-            }),
+            Ok(None) => Err(format!("unknown snapshot {snapshot_id}")),
             // A spilled snapshot whose file is torn or corrupt degrades
             // to a per-request typed error, never a panic.
-            Err(e) => Err(Response::Error {
-                message: format!("snapshot {snapshot_id} failed to load: {e}"),
-            }),
+            Err(e) => Err(format!("snapshot {snapshot_id} failed to load: {e}")),
         }
     }
 
     fn query(&self, snapshot_id: u64, spec: &WhatIfSpec) -> Response {
         let snapshot = match self.resolve(snapshot_id) {
             Ok(s) => s,
-            Err(r) => return r,
+            Err(message) => return Response::Error { message },
         };
         let fingerprint = scenario_fingerprint(spec);
         if let Some(outcome) = self.cache.lock().get(snapshot_id, fingerprint) {
@@ -346,7 +431,7 @@ impl TwinService {
     fn query_batch(&self, snapshot_id: u64, specs: &[WhatIfSpec]) -> Response {
         let snapshot = match self.resolve(snapshot_id) {
             Ok(s) => s,
-            Err(r) => return r,
+            Err(message) => return Response::Error { message },
         };
         let fingerprints: Vec<u64> = specs.iter().map(scenario_fingerprint).collect();
         let mut slots: Vec<Option<BatchOutcome>> = {
@@ -422,6 +507,36 @@ mod tests {
         let Response::Status(status) = svc.handle(&Request::Status) else { panic!() };
         assert_eq!(status.now_s, 1_800);
         assert_eq!(status.jobs_ingested, jobs_ingested);
+        // Power-only twin: no cooling backend, so every fidelity
+        // diagnostic is absent rather than zero.
+        assert_eq!(status.pue, None);
+        assert_eq!(status.surrogate_extrapolations, None);
+        assert_eq!(status.online_l3_steps, None);
+        assert_eq!(status.online_l4_steps, None);
+        assert_eq!(status.online_trusted_regimes, None);
+    }
+
+    #[test]
+    fn status_surfaces_online_fidelity_counters() {
+        let config = TwinConfig::marconi100_like()
+            .with_backend(exadigit_core::config::CoolingBackend::Online(
+                exadigit_core::online::OnlineSurrogateConfig::default(),
+            ));
+        let svc =
+            TwinService::new(config, TelemetryFeed::synthetic(5, 1), 5).unwrap().with_threads(2);
+        svc.handle(&Request::Advance { seconds: 1_800 });
+        let Response::Status(status) = svc.handle(&Request::Status) else { panic!() };
+        // Every cooling quantum was answered by exactly one of the two
+        // fidelities, and the counters say so through the wire protocol.
+        let l4 = status.online_l4_steps.expect("online backend exposes online.l4_steps");
+        let l3 = status.online_l3_steps.expect("online backend exposes online.l3_steps");
+        assert_eq!(l4 + l3, 1_800 / 15, "every quantum is either L3 or L4");
+        assert!(l4 > 0, "an untrained start must pay L4 first");
+        assert!(status.online_trusted_regimes.is_some());
+        assert!(status.pue.is_some(), "online backend serves pue like any other");
+        // The offline-surrogate extrapolation counter belongs to the
+        // Surrogate backend only.
+        assert_eq!(status.surrogate_extrapolations, None);
     }
 
     #[test]

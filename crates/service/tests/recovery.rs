@@ -289,3 +289,62 @@ fn checkpoint_and_persist_travel_the_wire_format() {
     assert_eq!(c, Response::Checkpointed { now_s: 120, bytes: 4_096 });
     assert_eq!(d, Response::Persisted { snapshot_id: 9, bytes: 512 });
 }
+
+#[test]
+fn auto_checkpoint_requires_a_persist_dir_and_positive_cadence() {
+    let svc =
+        TwinService::new(TwinConfig::frontier_power_only(), TelemetryFeed::synthetic(3, 1), 3)
+            .unwrap();
+    // No durable tier: the cadence has nowhere to write.
+    assert!(svc.with_auto_checkpoint_every(4).is_err());
+    let dir = scratch_dir("auto-zero");
+    let svc = durable_service(&dir);
+    assert!(svc.with_auto_checkpoint_every(0).is_err(), "zero cadence is a config mistake");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn auto_checkpoint_bounds_crash_loss_to_the_cadence() {
+    let dir = scratch_dir("auto-cadence");
+    {
+        // Checkpoint automatically after every 2 ingest batches; the
+        // client never sends an explicit Checkpoint.
+        let svc = durable_service(&dir).with_auto_checkpoint_every(2).unwrap();
+        svc.handle(&Request::Advance { seconds: 600 });
+        // One batch since the last durable write: recovery still finds
+        // nothing (explicit-only semantics are preserved between ticks).
+        assert!(TwinService::recover(&dir).is_err(), "no checkpoint after 1 of 2 batches");
+        svc.handle(&Request::Advance { seconds: 600 });
+        // Second batch crossed the cadence: live.json exists now.
+        let recovered = TwinService::recover(&dir).unwrap();
+        let Response::Status(s) = recovered.handle(&Request::Status) else { panic!() };
+        assert_eq!(s.now_s, 1_200, "auto-checkpoint captured the second advance");
+        // A third advance leaves the twin past the checkpoint; crash-loss
+        // is bounded by the cadence, so recovery lands on t = 1200 s.
+        svc.handle(&Request::Advance { seconds: 600 });
+        let recovered = TwinService::recover(&dir).unwrap();
+        let Response::Status(s) = recovered.handle(&Request::Status) else { panic!() };
+        assert_eq!(s.now_s, 1_200, "the un-checkpointed batch is the only loss");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn manual_checkpoint_restarts_the_auto_cadence() {
+    let dir = scratch_dir("auto-manual");
+    {
+        let svc = durable_service(&dir).with_auto_checkpoint_every(2).unwrap();
+        svc.handle(&Request::Advance { seconds: 300 });
+        // Manual checkpoint at t = 300 resets the batch counter...
+        let Response::Checkpointed { now_s, .. } = svc.handle(&Request::Checkpoint) else {
+            panic!()
+        };
+        assert_eq!(now_s, 300);
+        // ...so the next advance is 1 of 2 again and does not re-write.
+        svc.handle(&Request::Advance { seconds: 300 });
+        let recovered = TwinService::recover(&dir).unwrap();
+        let Response::Status(s) = recovered.handle(&Request::Status) else { panic!() };
+        assert_eq!(s.now_s, 300, "cadence counts from the manual checkpoint");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -21,6 +21,10 @@
 //!   ([`EventQueue::schedule_every`]) — the 15 s cooling/trace quantum and
 //!   the output record boundary. Recurring entries are stored as a period,
 //!   not expanded into the heap, so a multi-week horizon costs O(1) memory.
+//!   They are also *virtual*: a kernel that can prove a span of fires
+//!   redundant (the RAPS lazy record backfill) materialises none of them —
+//!   it reads the next one-shot via [`EventQueue::next_one_shot`] and
+//!   acknowledges the span with [`EventQueue::skip_recurring_through`].
 //!
 //! # Ordering and determinism
 //!

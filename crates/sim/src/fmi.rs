@@ -139,6 +139,33 @@ pub trait CoSimModel: Send + Sync {
         None
     }
 
+    /// True when, from the current state *with the current inputs held
+    /// constant*, every further `do_step` would leave all outputs
+    /// bit-identical and the internal state change is expressible by
+    /// [`CoSimModel::repeat_step`]. A master may then collapse a run of
+    /// identical-input steps into one `repeat_step(n)` call instead of
+    /// `n` `do_step`s — the cooling-model analogue of closed-form gap
+    /// accounting in an event-driven master.
+    ///
+    /// `false` (the default) is always safe: transient models (the L4
+    /// plant) and time-dependent models (L2 trace replay) must keep it.
+    /// Memoryless input→output maps (the L3 surrogate) and the online
+    /// L3/L4 model *while a trusted fit is serving* can return `true`.
+    fn quasi_static(&self) -> bool {
+        false
+    }
+
+    /// Account `n` additional steps with unchanged inputs, in bulk.
+    ///
+    /// Contract: when [`CoSimModel::quasi_static`] returned `true` with
+    /// the current inputs, `repeat_step(n)` must leave the model in
+    /// exactly the state `n` consecutive `do_step` calls with those
+    /// inputs would have — outputs, diagnostic counters, everything —
+    /// so masters that batch steps stay bit-identical to masters that
+    /// do not. No-op by default (paired with the `quasi_static`
+    /// default of `false`, which makes batching unreachable).
+    fn repeat_step(&mut self, _n: u64) {}
+
     /// Look up a variable by exact name.
     fn var_by_name(&self, name: &str) -> Option<&VariableDescriptor> {
         self.variables().iter().find(|v| v.name == name)

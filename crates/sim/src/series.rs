@@ -46,6 +46,18 @@ impl TimeSeries {
         self.values.push(value);
     }
 
+    /// Append `n` copies of the same sample in one call. Bit-identical to
+    /// `n` sequential [`TimeSeries::push`] calls of `value` (no arithmetic
+    /// happens — the same f64 is cloned), which is what lets the lazy
+    /// record backfill in the event kernel materialise the samples of a
+    /// constant-power gap without visiting each record boundary.
+    #[inline]
+    pub fn push_n(&mut self, value: f64, n: usize) {
+        if n > 0 {
+            self.values.resize(self.values.len() + n, value);
+        }
+    }
+
     /// Number of samples.
     #[inline]
     pub fn len(&self) -> usize {
@@ -209,6 +221,23 @@ mod tests {
         assert_eq!(s.min(), 0.0);
         assert_eq!(s.max(), 10.0);
         assert!((s.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_n_matches_sequential_pushes() {
+        let mut seq = TimeSeries::new(0.0, 15.0);
+        let mut fast = TimeSeries::new(0.0, 15.0);
+        seq.push(1.5);
+        fast.push(1.5);
+        for _ in 0..100 {
+            seq.push(7.25);
+        }
+        fast.push_n(7.25, 100);
+        assert_eq!(seq, fast);
+        // Zero-count push is a no-op.
+        let before = fast.clone();
+        fast.push_n(999.0, 0);
+        assert_eq!(fast, before);
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! Event-driven day replay: the discrete-event kernel vs Algorithm 1.
 //!
 //! Replays a 24 h Frontier capability day through both advancement
-//! kernels, checks they agree, then shows what the event kernel newly
-//! makes cheap: a four-week scenario horizon in a few milliseconds.
+//! kernels, checks they agree (and fails if the event kernel ever
+//! regresses below the per-second loop — CI runs this example), then
+//! shows what the event kernel newly makes cheap: a four-week scenario
+//! horizon in a few milliseconds, and a cooled replay whose online
+//! surrogate trainer retires most of the L4 plant steps as it learns.
 //!
 //! Run with: `cargo run --release --example day_replay`
 
+use exadigit_core::{CoolingBackend, DigitalTwin, OnlineSurrogateConfig, TwinConfig};
 use exadigit_raps::config::SystemConfig;
 use exadigit_raps::power::PowerDelivery;
 use exadigit_raps::scheduler::Policy;
@@ -68,6 +72,15 @@ fn main() {
         "  agree: {} jobs completed, {:.2} MWh (drift {energy_drift:.1e}), avg {:.2} MW",
         re.jobs_completed, re.total_energy_mwh, re.avg_power_mw
     );
+    // CI smoke gate: the event kernel must never lose to the loop it
+    // replaced (it currently wins by ~10×, so this only trips on a
+    // genuine regression, not scheduler jitter).
+    assert!(
+        t_event.as_secs_f64() < t_tick.as_secs_f64(),
+        "event kernel regressed below the per-second loop: {:.3} ms vs {:.3} ms",
+        t_event.as_secs_f64() * 1e3,
+        t_tick.as_secs_f64() * 1e3
+    );
 
     // --- Four weeks in one run ------------------------------------------
     // Multi-week horizons are the scenarios the per-second loop priced
@@ -102,4 +115,33 @@ fn main() {
         r.avg_power_mw,
         100.0 * r.avg_utilization
     );
+
+    // --- Cooled replay with the online trainer --------------------------
+    // The L4 plant used to make cooled replays ~80× the cost of
+    // power-only ones. The online backend pays L4 only while learning a
+    // regime, then serves it from the trusted fit; this smoke slice
+    // shows the split (the full cooled-day measurement lives in
+    // `cargo bench -p exadigit_bench --bench day_replay`).
+    const SMOKE_S: u64 = 4 * 3_600;
+    let jobs = WorkloadGenerator::new(capability_params(), 77).generate_day(0);
+    let cfg = TwinConfig::frontier()
+        .with_backend(CoolingBackend::Online(OnlineSurrogateConfig::default()));
+    let mut cooled = DigitalTwin::new(cfg).expect("frontier online twin builds");
+    cooled.submit(jobs);
+    let t = Instant::now();
+    cooled.run(SMOKE_S).expect("cooled replay runs");
+    let t_cooled = t.elapsed();
+    let l3 = cooled.cooling_output("online.l3_steps").unwrap_or(0.0);
+    let l4 = cooled.cooling_output("online.l4_steps").unwrap_or(0.0);
+    let trusted = cooled.cooling_output("online.trusted_regimes").unwrap_or(0.0);
+    println!("\nCooled 4 h replay (online L3/L4 backend):");
+    println!(
+        "  wall time: {:.1} ms   pue: {:.4}   quanta served L3: {:.0} / L4: {:.0} ({:.0} trusted regimes)",
+        t_cooled.as_secs_f64() * 1e3,
+        cooled.cooling_output("pue").unwrap_or(f64::NAN),
+        l3,
+        l4,
+        trusted
+    );
+    assert_eq!(l3 + l4, (SMOKE_S / 15) as f64, "every cooling quantum is L3 or L4");
 }

@@ -210,3 +210,165 @@ fn fitted_surrogate_config_round_trips_as_json() {
     let back = TwinConfig::from_json(&cfg.to_json()).unwrap();
     assert_eq!(cfg, back);
 }
+
+/// Online-trained L3 vs the L4 plant, golden-style: after watching a
+/// steady operating point, the trainer's trusted fit must agree with
+/// the offline settle protocol's steady-state PUE to < 0.01; a
+/// wet-bulb excursion across the tower-staging cliff leaves the trusted
+/// envelope and must fall back to the L4 plant — the fallback answer
+/// *is* the plant's, bit for bit, never an extrapolated polynomial.
+#[test]
+fn online_trained_l3_agrees_with_l4_and_falls_back_across_the_staging_cliff() {
+    use exadigit_core::online::{OnlineCoolingModel, OnlineSurrogateConfig};
+    use exadigit_core::surrogate::generate_training_data;
+    use exadigit_sim::fmi::{CoSimModel, VarRef};
+
+    let spec = exadigit_cooling::PlantSpec::marconi100_like();
+    let config = OnlineSurrogateConfig {
+        min_samples: 10,
+        steady_steps: 4,
+        sample_stride: 1,
+        refit_every: 10,
+        fallback_settle_steps: 20,
+        ..OnlineSurrogateConfig::default()
+    };
+    let mut online = OnlineCoolingModel::new(&spec, config).unwrap();
+    online.setup(0.0);
+
+    let n = spec.num_cdus;
+    let drive = |m: &mut OnlineCoolingModel, load: f64, wb: f64, quanta: usize| {
+        let heat = spec.heat_per_cdu_w() * load;
+        for i in 0..n {
+            m.set_real(VarRef(i as u32), heat).unwrap();
+        }
+        m.set_real(VarRef(n as u32), wb).unwrap();
+        m.set_real(VarRef((n + 1) as u32), heat * n as f64 / 0.945).unwrap();
+        for k in 0..quanta {
+            m.do_step(k as f64 * 15.0, 15.0).unwrap();
+        }
+    };
+
+    // Hold one operating point until the regime earns trust.
+    drive(&mut online, 0.6, 15.0, 150);
+    assert!(online.trusted_regimes() >= 1, "steady plateau must earn trust");
+    assert!(online.l3_steps() > 0, "trusted regime must serve L3");
+
+    // Golden reference: the offline settle protocol at the same point.
+    let reference =
+        generate_training_data(&spec, &[0.6], &[15.0], 400).unwrap()[0].pue;
+    let pue_vr = online.var_by_name("pue").unwrap().vr;
+    let online_pue = online.get_real(pue_vr).unwrap();
+    assert!(
+        (online_pue - reference).abs() < 0.01,
+        "online L3 {online_pue} vs offline-settled L4 {reference}"
+    );
+
+    // Cross the staging cliff: a hot excursion leaves the trusted
+    // envelope, so the trainer must pay L4 rather than extrapolate.
+    let (l4_before, fb_before) = (online.l4_steps(), online.fallback_steps());
+    drive(&mut online, 0.6, 26.0, 6);
+    assert!(
+        online.l4_steps() > l4_before,
+        "a query outside the trained wet-bulb envelope must step the plant"
+    );
+    assert!(
+        online.fallback_steps() > fb_before,
+        "the excursion must be counted as a fallback"
+    );
+    // The fallback answer is the embedded plant's own output, verbatim.
+    let plant_pue = online.plant().output_by_name("pue").unwrap();
+    assert_eq!(online.get_real(pue_vr).unwrap().to_bits(), plant_pue.to_bits());
+    assert!(plant_pue.is_finite() && plant_pue > 1.0);
+}
+
+/// The event kernel may collapse a steady gap's cooling quanta into one
+/// `repeat_step` when the online backend is serving a trusted fit
+/// (`CoSimModel::quasi_static`). That batching must be invisible: a
+/// cooled replay through `run_until` must match the per-second loop
+/// bit-for-bit — same PUE trace, same power series, same L3/L4 split —
+/// across the whole train-then-serve arc.
+#[test]
+fn online_backend_event_kernel_matches_per_second_bit_for_bit() {
+    use exadigit_core::online::{OnlineCoolingModel, OnlineSurrogateConfig};
+    use exadigit_raps::config::SystemConfig;
+    use exadigit_raps::power::PowerDelivery;
+    use exadigit_raps::scheduler::Policy;
+    use exadigit_raps::simulation::{CoolingCoupling, RapsSimulation};
+    use exadigit_raps::workload::{WorkloadGenerator, WorkloadParams};
+
+    const HORIZON_S: u64 = 4 * 3_600;
+    let spec = exadigit_cooling::PlantSpec::frontier();
+    // Test-speed knobs: earn trust inside the horizon so the run covers
+    // L4 training, the L3 switchover, and batched trusted gaps.
+    let config = OnlineSurrogateConfig {
+        min_samples: 10,
+        steady_steps: 4,
+        sample_stride: 1,
+        refit_every: 10,
+        fallback_settle_steps: 10,
+        ..OnlineSurrogateConfig::default()
+    };
+    let jobs = WorkloadGenerator::new(
+        WorkloadParams {
+            runtime_mean_s: 2.0 * 3600.0,
+            runtime_std_s: 0.5 * 3600.0,
+            ..WorkloadParams::default()
+        },
+        41,
+    )
+    .generate_day(0);
+
+    let run = |event_mode: bool| {
+        let mut sim = RapsSimulation::new(
+            SystemConfig::frontier(),
+            PowerDelivery::StandardAC,
+            Policy::FirstFit,
+            15,
+        );
+        let model = OnlineCoolingModel::new(&spec, config.clone()).unwrap();
+        let coupling =
+            CoolingCoupling::attach(Box::new(model), spec.num_cdus).unwrap();
+        sim.attach_cooling(coupling);
+        sim.submit_jobs(jobs.clone());
+        if event_mode {
+            sim.run_until(HORIZON_S).unwrap();
+        } else {
+            sim.run_until_per_second(HORIZON_S).unwrap();
+        }
+        sim
+    };
+    let event = run(true);
+    let tick = run(false);
+
+    let read = |sim: &RapsSimulation, name: &str| {
+        let model = sim.cooling_model().expect("cooling attached");
+        let vr = model.var_by_name(name).expect("online local").vr;
+        model.get_real(vr).unwrap()
+    };
+    // The arc actually exercised both fidelities and the batched path
+    // has trusted gaps to collapse.
+    assert!(read(&event, "online.l3_steps") > 0.0, "no trusted serving in the horizon");
+    assert!(read(&event, "online.l4_steps") > 0.0, "no training in the horizon");
+    for counter in ["online.l3_steps", "online.l4_steps", "online.fallback_steps"] {
+        assert_eq!(
+            read(&event, counter),
+            read(&tick, counter),
+            "kernels disagree on {counter}"
+        );
+    }
+    let (oe, ot) = (event.outputs(), tick.outputs());
+    assert_eq!(oe.pue.values.len(), ot.pue.values.len(), "pue sample counts differ");
+    for (i, (a, b)) in oe.pue.values.iter().zip(&ot.pue.values).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "pue sample {i} differs");
+    }
+    for (name, a, b) in [
+        ("system_power_w", &oe.system_power_w, &ot.system_power_w),
+        ("utilization", &oe.utilization, &ot.utilization),
+    ] {
+        assert_eq!(a.values.len(), b.values.len(), "{name} sample counts differ");
+        for (i, (x, y)) in a.values.iter().zip(&b.values).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{name} sample {i} differs");
+        }
+    }
+    assert_eq!(event.report().jobs_completed, tick.report().jobs_completed);
+}

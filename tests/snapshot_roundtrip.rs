@@ -153,6 +153,67 @@ proptest! {
     }
 }
 
+/// A save/load boundary landing *inside* a record gap must neither skip
+/// nor duplicate backfilled samples. The lazy record backfill derives
+/// its cursor from series length + clock (nothing new is serialized),
+/// so with hourly recording a pause at t = 5,000 s — 1,400 s past the
+/// t = 3,600 s boundary, 2,200 s before the next — is the adversarial
+/// spot: the restored kernel must resume the half-spanned gap exactly.
+/// Pinned at bit level against the eager per-second kernel, which never
+/// backfills at all.
+#[test]
+fn save_load_mid_record_gap_matches_eager_kernel_bit_for_bit() {
+    let jobs: Vec<Job> = [
+        (48usize, 7_200u64, 0u64, 0.7f32, 0.9f32),
+        (16, 900, 1_000, 0.4, 0.5),
+        (96, 4_000, 4_200, 0.9, 0.8),
+        (8, 60, 9_500, 0.2, 0.3),
+        (32, 11_000, 12_000, 0.6, 0.7),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, &(nodes, wall, submit, cu, gu))| {
+        Job::new(i as u64, format!("j{i}"), nodes, wall, submit, cu, gu)
+    })
+    .collect();
+    for policy in POLICIES {
+        let mk = || {
+            let mut s =
+                RapsSimulation::new(small_config(96), PowerDelivery::StandardAC, policy, 3_600);
+            s.submit_jobs(jobs.clone());
+            s
+        };
+        let mut eager = mk();
+        eager.run_until_per_second(25_000).unwrap();
+
+        let mut live = mk();
+        live.run_until(5_000).unwrap();
+        let json = serde_json::to_string(&live.save_state().unwrap()).unwrap();
+        let mut back = rehydrate(&json);
+        back.run_until(25_000).unwrap();
+
+        let (rb, re) = (back.report(), eager.report());
+        assert_eq!(rb.jobs_completed, re.jobs_completed, "policy {policy:?}");
+        assert_eq!(back.pool(), eager.pool(), "policy {policy:?}");
+        let (ob, oe) = (back.outputs(), eager.outputs());
+        for (name, a, b) in [
+            ("system_power_w", &ob.system_power_w, &oe.system_power_w),
+            ("utilization", &ob.utilization, &oe.utilization),
+            ("loss_w", &ob.loss_w, &oe.loss_w),
+            ("efficiency", &ob.efficiency, &oe.efficiency),
+        ] {
+            assert_eq!(a.values.len(), b.values.len(), "policy {policy:?}: {name} length");
+            for (i, (x, y)) in a.values.iter().zip(&b.values).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "policy {policy:?}: {name}[{i}] diverged across the mid-gap reload"
+                );
+            }
+        }
+    }
+}
+
 /// RNG streams must continue mid-sequence across the round trip — the
 /// xoshiro state *and* the Box–Muller spare, which is why the cache is
 /// part of the serialized state: dropping it would shift every
