@@ -10,8 +10,11 @@
 //!
 //! Also measured: the snapshot itself (a state clone — the constant the
 //! service pays per checkpoint), a cache hit (the floor for repeated
-//! questions), and a 16-draw UQ ensemble answered entirely from one
-//! snapshot. Baseline: `BENCH_service_throughput.json`.
+//! questions), a 16-draw UQ ensemble answered entirely from one
+//! snapshot, and the `fork_scaling` group — fork/snapshot cost at 1 h,
+//! 12 h, and 7 d of recorded history, which the copy-on-write series
+//! representation must keep flat. Baseline:
+//! `BENCH_service_throughput.json`.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use exadigit_core::config::TwinConfig;
@@ -33,6 +36,20 @@ fn day_twin() -> DigitalTwin {
         DigitalTwin::new(TwinConfig::frontier_power_only()).expect("config valid");
     let mut gen = WorkloadGenerator::new(WorkloadParams::default(), 77);
     twin.submit(gen.generate_day(0));
+    twin
+}
+
+/// A loaded twin advanced through `seconds` of recorded history (one
+/// generated day of workload per elapsed day, so the queues stay busy
+/// however deep the history goes).
+fn twin_with_history(seconds: u64) -> DigitalTwin {
+    let mut twin =
+        DigitalTwin::new(TwinConfig::frontier_power_only()).expect("config valid");
+    let mut gen = WorkloadGenerator::new(WorkloadParams::default(), 77);
+    for day in 0..=seconds / 86_400 {
+        twin.submit(gen.generate_day(day));
+    }
+    twin.run(seconds).expect("advance through history");
     twin
 }
 
@@ -93,8 +110,55 @@ fn bench_service_throughput(c: &mut Criterion) {
         b.iter(|| black_box(run_whatif(&snapshot, &uq, Some(1)).expect("uq").power_std_mw))
     });
 
+    // Per-draw *overhead* isolated: a zero-second horizon leaves only
+    // what each draw pays before simulating — the shared-prefix fork,
+    // the parameter perturbation, and the power-model rebuild. This is
+    // the number the copy-on-write fork is meant to crush (each draw
+    // used to deep-clone the full recorded history here).
+    let uq0 = WhatIfSpec { horizon_s: 0, draws: 16, ..WhatIfSpec::default() };
+    group.bench_function("uq16_prefix_only", |b| {
+        b.iter(|| black_box(run_whatif(&snapshot, &uq0, Some(1)).expect("uq0").draws))
+    });
+
     group.finish();
 }
 
-criterion_group!(benches, bench_service_throughput);
+/// Fork-cost scaling in recorded-history depth: the copy-on-write
+/// acceptance criterion (`docs/SERVICE.md`) is that `fork` and
+/// `snapshot_take` stay **flat** as history grows — a 7-day twin must
+/// fork within ~2× of a 1-hour twin, because sealed chunks transfer by
+/// refcount and only the mutable scratch (queues, calendar, tails) is
+/// copied. Before CoW both costs were O(recorded samples).
+///
+/// `EXADIGIT_FORK_MAX_HISTORY_S` caps the deepest history point so CI
+/// can smoke-run the scenario in seconds (the scaling claim itself is
+/// pinned on the full 1h/12h/7d sweep recorded in
+/// `BENCH_service_throughput.json`).
+fn bench_fork_scaling(c: &mut Criterion) {
+    let cap: u64 = std::env::var("EXADIGIT_FORK_MAX_HISTORY_S")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(u64::MAX);
+    let mut group = c.benchmark_group("fork_scaling");
+    group.measurement_time(Duration::from_secs(5)).sample_size(10);
+    for (label, seconds) in [("1h", 3_600), ("12h", 43_200), ("7d", 604_800)] {
+        if seconds > cap {
+            continue;
+        }
+        let twin = twin_with_history(seconds);
+        group.bench_function(format!("fork_{label}"), |b| {
+            b.iter(|| black_box(twin.fork().expect("fork").now()))
+        });
+        group.bench_function(format!("snapshot_take_{label}"), |b| {
+            b.iter_batched(
+                || SnapshotStore::new(1024, 42),
+                |mut store| black_box(store.take(&twin, label.into()).expect("snapshot").id),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_throughput, bench_fork_scaling);
 criterion_main!(benches);

@@ -55,14 +55,14 @@ fn main() {
     }
 
     let power_mw: Vec<f64> =
-        sim.outputs().system_power_w.values.iter().map(|&w| w / 1e6).collect();
+        sim.outputs().system_power_w.samples().map(|w| w / 1e6).collect();
     let width = 72;
     println!("\n  total system power [MW]:");
     println!("{}", line_chart(&[("P_system", &bucket_means(&power_mw, width))], width, 12));
     println!("  primary (HTW) return temperature [degC]:");
     println!(
         "{}",
-        line_chart(&[("T_return", &bucket_means(&t_ret.values, width))], width, 10)
+        line_chart(&[("T_return", &bucket_means(&t_ret.to_vec(), width))], width, 10)
     );
 
     println!("  HPL peak power     {:>7.2} MW  (Table III core phase: 22.3 MW)", mw(peak_hpl));

@@ -55,9 +55,9 @@ fn main() {
     let cmp = compare_channels("P_system", predicted, &telemetry.measured_power_w, 60.0);
     let width = 72;
     let pred_mw: Vec<f64> =
-        bucket_means(&predicted.values, width).iter().map(|w| w / 1e6).collect();
+        bucket_means(&predicted.to_vec(), width).iter().map(|w| w / 1e6).collect();
     let meas_mw: Vec<f64> =
-        bucket_means(&telemetry.measured_power_w.values, width).iter().map(|w| w / 1e6).collect();
+        bucket_means(&telemetry.measured_power_w.to_vec(), width).iter().map(|w| w / 1e6).collect();
     println!("\n  instantaneous system power [MW] (red=predicted, black=measured in the paper):");
     println!("{}", line_chart(&[("predicted", &pred_mw), ("measured", &meas_mw)], width, 14));
     println!("  η_system     {}", spark_series(&sim.outputs().efficiency, width));

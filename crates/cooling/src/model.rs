@@ -20,7 +20,8 @@ use exadigit_sim::fmi::{Causality, CoSimModel, FmiError, VarRef, VariableDescrip
 pub struct CoolingModel {
     plant: Plant,
     controls: PlantControls,
-    vars: Vec<VariableDescriptor>,
+    /// Immutable after construction; forks share it by refcount.
+    vars: std::sync::Arc<Vec<VariableDescriptor>>,
     /// Current values, indexed by value reference.
     values: Vec<f64>,
     num_inputs: usize,
@@ -128,7 +129,7 @@ impl CoolingModel {
         Ok(CoolingModel {
             plant,
             controls,
-            vars: reg.into_vec(),
+            vars: std::sync::Arc::new(reg.into_vec()),
             values,
             num_inputs,
             blockage_base,

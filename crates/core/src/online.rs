@@ -171,7 +171,8 @@ impl RegimeFit {
 pub struct OnlineCoolingModel {
     plant: CoolingModel,
     config: OnlineSurrogateConfig,
-    vars: Vec<VariableDescriptor>,
+    /// Immutable after construction; forks share it by refcount.
+    vars: std::sync::Arc<Vec<VariableDescriptor>>,
     values: Vec<f64>,
     /// Design heat of one input at load fraction 1, W.
     design_heat_per_cdu_w: f64,
@@ -238,7 +239,7 @@ impl OnlineCoolingModel {
         Ok(OnlineCoolingModel {
             plant,
             config,
-            vars: reg.into_vec(),
+            vars: std::sync::Arc::new(reg.into_vec()),
             values,
             design_heat_per_cdu_w: spec.heat_per_cdu_w(),
             cdu_heat_w: vec![0.0; num_cdus],

@@ -360,12 +360,11 @@ mod tests {
         twin.run(600).unwrap();
         forked.run(600).unwrap();
         let (a, b) = (twin.outputs(), forked.outputs());
-        assert_eq!(a.pue.values.len(), b.pue.values.len());
+        assert_eq!(a.pue.len(), b.pue.len());
         assert!(a
             .pue
-            .values
-            .iter()
-            .zip(&b.pue.values)
+            .samples()
+            .zip(b.pue.samples())
             .all(|(x, y)| x.to_bits() == y.to_bits()));
         assert_eq!(
             twin.cooling_output("cdu[1].secondary_supply_temp").map(f64::to_bits),
@@ -403,9 +402,9 @@ mod tests {
         twin.raps_mut().attach_cooling(coupling);
         twin.run(45).unwrap();
         let pue = &twin.outputs().pue;
-        assert!(pue.values[n_before].is_nan(), "gap quanta must read as no-measurement");
+        assert!(pue[n_before].is_nan(), "gap quanta must read as no-measurement");
         let last_t = pue.t0 + (pue.len() as f64 - 1.0) * 15.0;
-        assert!(pue.values.last().unwrap() - 1.08 == 0.0);
+        assert!(pue.last().unwrap() - 1.08 == 0.0);
         assert!(last_t > 5_400.0, "appended samples carry physical times, got {last_t}");
     }
 
@@ -423,12 +422,11 @@ mod tests {
         twin.run(600).unwrap();
         loaded.run(600).unwrap();
         let (a, b) = (twin.outputs(), loaded.outputs());
-        assert_eq!(a.pue.values.len(), b.pue.values.len());
+        assert_eq!(a.pue.len(), b.pue.len());
         assert!(a
             .pue
-            .values
-            .iter()
-            .zip(&b.pue.values)
+            .samples()
+            .zip(b.pue.samples())
             .all(|(x, y)| x.to_bits() == y.to_bits()));
         assert_eq!(
             twin.cooling_output("cdu[1].secondary_supply_temp").map(f64::to_bits),

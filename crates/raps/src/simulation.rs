@@ -47,6 +47,7 @@ use exadigit_sim::events::{series_breakpoints, Event, EventKind, EventQueue};
 use exadigit_sim::fmi::{CoSimModel, FmiError, VarRef};
 use exadigit_sim::{SimClock, TimeSeries, Welford};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Trace quantum and cooling-model period, seconds (§III-B of the paper).
 pub const COOLING_PERIOD_S: u64 = 15;
@@ -191,6 +192,30 @@ impl SimOutputs {
             energy_j: 0.0,
         }
     }
+
+    /// Approximate recorded-history footprint as `(shared, owned)`
+    /// bytes across every series: sealed chunks whose `Arc` is held by
+    /// more than one owner (a fork or snapshot sharing this history)
+    /// count as shared, everything else — uniquely-owned chunks and the
+    /// mutable tails — as owned. The split is what a capacity dashboard
+    /// needs: owned bytes are what dropping this state frees, shared
+    /// bytes are amortised across the twins that hold them.
+    pub fn shared_owned_bytes(&self) -> (usize, usize) {
+        let mut shared = 0;
+        let mut owned = 0;
+        for series in [
+            &self.system_power_w,
+            &self.loss_w,
+            &self.utilization,
+            &self.efficiency,
+            &self.pue,
+        ] {
+            let (s, o) = series.shared_owned_bytes();
+            shared += s;
+            owned += o;
+        }
+        (shared, owned)
+    }
 }
 
 /// A running job plus its allocation, with per-rack node counts cached so
@@ -255,8 +280,13 @@ struct CoolingState {
 
 /// The RAPS simulator.
 pub struct RapsSimulation {
-    cfg: SystemConfig,
-    model: PowerModel,
+    /// Machine topology and component parameters. Immutable during a run
+    /// (only `set_power_model` replaces it), so forks share it by
+    /// refcount instead of re-cloning partition tables.
+    cfg: Arc<SystemConfig>,
+    /// The power model — a pure function of `(cfg, delivery)`; shared
+    /// across forks for the same reason.
+    model: Arc<PowerModel>,
     policy: Policy,
     pool: NodePool,
     /// Jobs not yet submitted, ascending submit time.
@@ -311,7 +341,8 @@ impl RapsSimulation {
         policy: Policy,
         record_every_s: u64,
     ) -> Self {
-        let model = PowerModel::new(cfg.clone(), delivery);
+        let model = Arc::new(PowerModel::new(cfg.clone(), delivery));
+        let cfg = Arc::new(cfg);
         let pool = NodePool::new(&cfg);
         let acc = model.new_accumulator();
         let racks = model.racks();
@@ -987,7 +1018,7 @@ impl RapsSimulation {
             }
         };
         let state = RapsState {
-            cfg: self.cfg.clone(),
+            cfg: (*self.cfg).clone(),
             delivery: self.model.conversion().delivery(),
             policy: self.policy,
             pool: self.pool.clone(),
@@ -1031,7 +1062,7 @@ impl RapsSimulation {
             <RapsState as serde::Deserialize>::from_value(value).map_err(|e| {
                 format!("invalid simulation state: {e}")
             })?;
-        let model = PowerModel::new(state.cfg.clone(), state.delivery);
+        let model = Arc::new(PowerModel::new(state.cfg.clone(), state.delivery));
         let acc = model.new_accumulator();
         let cooling = match state.cooling {
             None => None,
@@ -1041,7 +1072,7 @@ impl RapsSimulation {
             }
         };
         Ok(RapsSimulation {
-            cfg: state.cfg,
+            cfg: Arc::new(state.cfg),
             model,
             policy: state.policy,
             pool: state.pool,
@@ -1094,9 +1125,9 @@ impl RapsSimulation {
         {
             return Err("set_power_model requires an identical machine topology".into());
         }
-        self.model = PowerModel::new(cfg.clone(), delivery);
+        self.model = Arc::new(PowerModel::new(cfg.clone(), delivery));
         self.acc = self.model.new_accumulator();
-        self.cfg = cfg;
+        self.cfg = Arc::new(cfg);
         self.power_dirty = true;
         Ok(())
     }
@@ -1363,7 +1394,7 @@ mod tests {
         original.run_until(5400).unwrap();
         forked.run_until(5400).unwrap();
         assert_eq!(original.report(), forked.report());
-        let (a, b) = (&original.outputs().system_power_w.values, &forked.outputs().system_power_w.values);
+        let (a, b) = (original.outputs().system_power_w.to_vec(), forked.outputs().system_power_w.to_vec());
         assert_eq!(a.len(), b.len());
         assert!(a.iter().zip(b.iter()).all(|(x, y)| x.to_bits() == y.to_bits()));
         assert_eq!(original.pool(), forked.pool());
@@ -1394,7 +1425,7 @@ mod tests {
             );
             s.submit_jobs(gen.generate_day(0));
             s.run_until(7200).unwrap();
-            (s.report(), s.outputs().system_power_w.values.clone())
+            (s.report(), s.outputs().system_power_w.to_vec())
         };
         let (r1, p1) = run();
         let (r2, p2) = run();

@@ -238,8 +238,8 @@ proptest! {
             (&oe.loss_w, &op.loss_w),
             (&oe.efficiency, &op.efficiency),
         ] {
-            prop_assert_eq!(a.values.len(), b.values.len());
-            for (x, y) in a.values.iter().zip(&b.values) {
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.samples().zip(b.samples()) {
                 prop_assert_eq!(x.to_bits(), y.to_bits());
             }
         }
@@ -303,8 +303,8 @@ proptest! {
             (&om.loss_w, &or.loss_w),
             (&om.efficiency, &or.efficiency),
         ] {
-            prop_assert_eq!(a.values.len(), b.values.len());
-            for (x, y) in a.values.iter().zip(&b.values) {
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.samples().zip(b.samples()) {
                 prop_assert_eq!(x.to_bits(), y.to_bits());
             }
         }

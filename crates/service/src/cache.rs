@@ -41,9 +41,15 @@ pub fn scenario_fingerprint(spec: &WhatIfSpec) -> u64 {
 }
 
 /// Approximate resident size of one memoised outcome, the unit the
-/// byte budget meters: the struct itself plus its heap (label) bytes.
+/// byte budget meters: the struct itself plus its heap bytes — the
+/// label *and* the per-draw UQ payload vectors, which dominate for
+/// large ensembles (a 4096-draw outcome carries ~64 KiB of draws next
+/// to a ~200 B summary).
 pub fn outcome_bytes(outcome: &WhatIfOutcome) -> usize {
-    std::mem::size_of::<WhatIfOutcome>() + outcome.label.len()
+    std::mem::size_of::<WhatIfOutcome>()
+        + outcome.label.len()
+        + (outcome.draw_avg_power_mw.capacity() + outcome.draw_energy_mwh.capacity())
+            * std::mem::size_of::<f64>()
 }
 
 /// Default byte budget: generous next to the default 1024-entry cap
@@ -210,6 +216,8 @@ mod tests {
             energy_std_mwh: 0.0,
             final_pue: None,
             final_utilization: 0.0,
+            draw_avg_power_mw: Vec::new(),
+            draw_energy_mwh: Vec::new(),
             draws: 1,
         }
     }
@@ -293,6 +301,24 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert!(cache.total_bytes() > before);
         assert_eq!(cache.get(1, 10).unwrap().label, "a much longer label than before");
+    }
+
+    #[test]
+    fn draw_vectors_are_metered_not_just_the_summary() {
+        let lean = outcome("uq");
+        let mut fat = outcome("uq");
+        fat.draw_avg_power_mw = vec![8.0; 1_024];
+        fat.draw_energy_mwh = vec![0.13; 1_024];
+        fat.draws = 1_024;
+        let overhead = outcome_bytes(&fat) - outcome_bytes(&lean);
+        assert!(
+            overhead >= 2 * 1_024 * std::mem::size_of::<f64>(),
+            "per-draw payloads must count toward the byte budget ({overhead} B)"
+        );
+        // And the budget actually refuses an over-sized UQ outcome.
+        let mut cache = QueryCache::new(8).with_byte_budget(outcome_bytes(&lean) * 2);
+        cache.insert(1, 10, fat);
+        assert!(cache.get(1, 10).is_none(), "outcome larger than the budget is not cached");
     }
 
     #[test]

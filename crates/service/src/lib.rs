@@ -81,7 +81,7 @@ pub use protocol::{
 };
 pub use query::{run_whatif, WhatIfOutcome, WhatIfSpec};
 pub use server::TwinService;
-pub use snapshot::{SnapshotInfo, SnapshotStore, TwinSnapshot};
+pub use snapshot::{SnapshotInfo, SnapshotStore, StoreMemoryStats, TwinSnapshot};
 
 // Re-exported so service consumers can build feeds without naming the
 // telemetry crate.

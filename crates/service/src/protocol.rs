@@ -111,6 +111,18 @@ pub struct ServerStatus {
     pub online_l4_steps: Option<u64>,
     /// Staging regimes whose online fit is currently inside tolerance.
     pub online_trusted_regimes: Option<u64>,
+    /// Snapshots resident in memory (≤ `snapshots`).
+    pub snapshots_resident: u64,
+    /// Snapshots held only on the disk tier (`snapshots` −
+    /// `snapshots_resident`).
+    pub snapshots_spilled: u64,
+    /// Approximate recorded-history bytes resident snapshots share by
+    /// refcount with other twins (the live twin, forks, sibling
+    /// snapshots) under the copy-on-write series representation.
+    pub snapshot_shared_bytes: u64,
+    /// Approximate recorded-history bytes uniquely owned by resident
+    /// snapshots — what dropping them would actually free.
+    pub snapshot_owned_bytes: u64,
 }
 
 /// A server response (one JSON line).
@@ -359,6 +371,8 @@ mod tests {
             energy_std_mwh: 0.0,
             final_pue: None,
             final_utilization: 0.5,
+            draw_avg_power_mw: vec![],
+            draw_energy_mwh: vec![],
             draws: 1,
         };
         let responses = vec![

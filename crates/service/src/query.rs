@@ -6,8 +6,9 @@
 //! ("what if we switched the conversion chain now?"), extra-load
 //! injections, fidelity swaps (any [`CoolingBackend`], so an expensive
 //! L4 snapshot can answer cheap L3-surrogate queries), and Monte-Carlo
-//! UQ ensembles over the power-model parameters (`draws > 1`, one fork
-//! per draw, per-fork RNG streams split from the snapshot seed).
+//! UQ ensembles over the power-model parameters (`draws > 1`, one
+//! configured base fork whose recorded history every draw shares by
+//! refcount, per-draw RNG streams split from the snapshot seed).
 //!
 //! Every query costs O(horizon): the fork resumes from the snapshot
 //! second instead of replaying from t = 0. Outcomes report *marginal*
@@ -102,6 +103,13 @@ pub struct WhatIfOutcome {
     pub final_pue: Option<f64>,
     /// Node-allocation utilization at the end of the horizon.
     pub final_utilization: f64,
+    /// Per-draw average power, MW, in draw-index order — the raw
+    /// ensemble behind `avg_power_mw`/`power_std_mw` (empty for a
+    /// single fork, where the summary fields carry everything).
+    pub draw_avg_power_mw: Vec<f64>,
+    /// Per-draw horizon energy, MWh, in draw-index order (empty for a
+    /// single fork).
+    pub draw_energy_mwh: Vec<f64>,
     /// Ensemble size this outcome aggregates (1 for a single fork).
     pub draws: u64,
 }
@@ -149,14 +157,25 @@ fn apply_overrides(twin: &mut DigitalTwin, spec: &WhatIfSpec) -> Result<(), Stri
     Ok(())
 }
 
+/// Fork the snapshot once and apply the spec's deterministic overrides.
+///
+/// This is the *shared prefix* of a UQ ensemble: every draw forks from
+/// the configured twin this returns, so the override work (backend
+/// rebuild, wet-bulb remap, extra-job submission) is paid once per
+/// scenario and the recorded history stays refcount-shared across all
+/// draws instead of being copied `draws` times.
+fn configured_fork(snapshot: &TwinSnapshot, spec: &WhatIfSpec) -> Result<DigitalTwin, String> {
+    let mut twin = snapshot.fork()?;
+    apply_overrides(&mut twin, spec)?;
+    Ok(twin)
+}
+
 /// Run one fork to the horizon and read off the marginal numbers.
 fn run_fork(
-    snapshot: &TwinSnapshot,
+    mut twin: DigitalTwin,
     spec: &WhatIfSpec,
     perturb_rng: Option<&mut Rng>,
 ) -> Result<ForkRun, String> {
-    let mut twin = snapshot.fork()?;
-    apply_overrides(&mut twin, spec)?;
     if let Some(rng) = perturb_rng {
         let perturbed = uq::perturb_config(&twin.config.system, &spec.perturbations, rng);
         let delivery = twin.config.delivery;
@@ -201,7 +220,7 @@ pub fn run_whatif(
     }
     let (from_s, to_s) = (snapshot.taken_at_s, snapshot.taken_at_s + spec.horizon_s);
     if spec.draws <= 1 {
-        let run = run_fork(snapshot, spec, None)?;
+        let run = run_fork(configured_fork(snapshot, spec)?, spec, None)?;
         return Ok(WhatIfOutcome {
             label: spec.label.clone(),
             from_s,
@@ -213,6 +232,8 @@ pub fn run_whatif(
             energy_std_mwh: 0.0,
             final_pue: run.final_pue,
             final_utilization: run.final_utilization,
+            draw_avg_power_mw: Vec::new(),
+            draw_energy_mwh: Vec::new(),
             draws: 1,
         });
     }
@@ -220,26 +241,29 @@ pub fn run_whatif(
     // UQ ensemble: per-draw streams derive from the snapshot seed and the
     // scenario fingerprint, so the same question always draws the same
     // perturbations (cache coherence) while distinct scenarios and
-    // snapshots stay independent.
+    // snapshots stay independent. The scenario overrides are applied to
+    // ONE base fork; each draw then forks that shared prefix (a refcount
+    // bump per recorded series) and pays only for its own perturbed run.
+    let base = configured_fork(snapshot, spec)?;
     let seed = snapshot.seed ^ crate::cache::scenario_fingerprint(spec);
     let mut runner = EnsembleRunner::new(seed);
     if let Some(n) = threads {
         runner = runner.threads(n);
     }
     let runs: Vec<Result<ForkRun, String>> =
-        runner.run_draws(spec.draws as usize, |ctx| run_fork(snapshot, spec, Some(&mut ctx.rng)));
+        runner.run_draws(spec.draws as usize, |ctx| run_fork(base.fork()?, spec, Some(&mut ctx.rng)));
     let runs: Vec<ForkRun> = runs.into_iter().collect::<Result<_, _>>()?;
 
     // Sample std via the workspace accumulator, so `power_std_mw` means
     // the same thing here as in `exadigit_raps::uq::UqSummary`.
-    let mean_std = |values: Vec<f64>| {
-        let s = exadigit_sim::stats::Summary::of(&values);
+    let mean_std = |values: &[f64]| {
+        let s = exadigit_sim::stats::Summary::of(values);
         (s.mean, s.std)
     };
-    let (power_mean, power_std) =
-        mean_std(runs.iter().map(|r| r.avg_power_mw).collect());
-    let (energy_mean, energy_std) =
-        mean_std(runs.iter().map(|r| r.energy_mwh).collect());
+    let draw_avg_power_mw: Vec<f64> = runs.iter().map(|r| r.avg_power_mw).collect();
+    let draw_energy_mwh: Vec<f64> = runs.iter().map(|r| r.energy_mwh).collect();
+    let (power_mean, power_std) = mean_std(&draw_avg_power_mw);
+    let (energy_mean, energy_std) = mean_std(&draw_energy_mwh);
     let pues: Vec<f64> = runs.iter().filter_map(|r| r.final_pue).collect();
     Ok(WhatIfOutcome {
         label: spec.label.clone(),
@@ -258,6 +282,8 @@ pub fn run_whatif(
             Some(pues.iter().sum::<f64>() / pues.len() as f64)
         },
         final_utilization: runs[0].final_utilization,
+        draw_avg_power_mw,
+        draw_energy_mwh,
         draws: spec.draws,
     })
 }
@@ -375,5 +401,9 @@ mod tests {
         assert_eq!(w1, w4, "pool width must not change the ensemble");
         assert!(w1.power_std_mw > 0.0, "perturbations must spread the ensemble");
         assert_eq!(w1.draws, 8);
+        assert_eq!(w1.draw_avg_power_mw.len(), 8, "per-draw payload rides along");
+        assert_eq!(w1.draw_energy_mwh.len(), 8);
+        let mean = w1.draw_avg_power_mw.iter().sum::<f64>() / 8.0;
+        assert!((mean - w1.avg_power_mw).abs() < 1e-9, "summary is the mean of the payload");
     }
 }

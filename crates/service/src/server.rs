@@ -262,13 +262,17 @@ impl TwinService {
             let (hits, misses) = cache.stats();
             (cache.len() as u64, hits, misses)
         };
+        let (snapshots, memory) = {
+            let store = self.snapshots.lock();
+            (store.len() as u64, store.memory_stats())
+        };
         Response::Status(ServerStatus {
             now_s,
             running_jobs,
             pending_jobs,
             jobs_ingested,
             feed_pending_jobs,
-            snapshots: self.snapshots.lock().len() as u64,
+            snapshots,
             cache_entries,
             cache_hits,
             cache_misses,
@@ -277,6 +281,10 @@ impl TwinService {
             online_l3_steps,
             online_l4_steps,
             online_trusted_regimes,
+            snapshots_resident: memory.resident as u64,
+            snapshots_spilled: memory.spilled as u64,
+            snapshot_shared_bytes: memory.shared_bytes as u64,
+            snapshot_owned_bytes: memory.owned_bytes as u64,
         })
     }
 

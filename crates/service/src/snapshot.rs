@@ -66,6 +66,23 @@ impl TwinSnapshot {
     }
 }
 
+/// Memory accounting over a [`SnapshotStore`], split the way the
+/// `Status` probe reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreMemoryStats {
+    /// Snapshots resident in memory.
+    pub resident: usize,
+    /// Snapshots held only on the disk tier.
+    pub spilled: usize,
+    /// Approximate recorded-history bytes resident snapshots share with
+    /// other twins (the live twin, forks, sibling snapshots) by
+    /// refcount.
+    pub shared_bytes: usize,
+    /// Approximate recorded-history bytes uniquely owned by resident
+    /// snapshots — what dropping them would free.
+    pub owned_bytes: usize,
+}
+
 /// Wire-facing snapshot summary (the `Snapshot` / `ListSnapshots`
 /// response payload).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -417,6 +434,29 @@ impl SnapshotStore {
             }
         }
         out
+    }
+
+    /// Memory accounting across the store's tiers (the `Status` probe's
+    /// capacity view). Shared/owned bytes are summed over **resident**
+    /// snapshots only — spilled snapshots hold no memory, that is the
+    /// point of spilling — using the copy-on-write accounting in
+    /// `SimOutputs::shared_owned_bytes`: chunks a snapshot still shares
+    /// with the live twin (or with sibling snapshots) read as shared,
+    /// so `owned_bytes` is what dropping snapshots would actually free.
+    pub fn memory_stats(&self) -> StoreMemoryStats {
+        let mut shared_bytes = 0;
+        let mut owned_bytes = 0;
+        for snapshot in self.snapshots.values() {
+            let (s, o) = snapshot.twin().outputs().shared_owned_bytes();
+            shared_bytes += s;
+            owned_bytes += o;
+        }
+        StoreMemoryStats {
+            resident: self.snapshots.len(),
+            spilled: self.persisted.keys().filter(|id| !self.snapshots.contains_key(id)).count(),
+            shared_bytes,
+            owned_bytes,
+        }
     }
 
     /// Number of held snapshots across both tiers.

@@ -278,6 +278,58 @@ fn cache_promotes_on_hit_and_evicts_lru_over_the_wire() {
     handle.shutdown();
 }
 
+/// Snapshot memory accounting observed through the wire: resident vs
+/// spilled counts plus the copy-on-write shared/owned byte split. A
+/// snapshot of a twin with sealed history must read as mostly *shared*
+/// (its chunks are refcount-aliased with the live twin), and dropping
+/// it must return the accounting to zero.
+#[test]
+fn status_reports_snapshot_memory_accounting() {
+    let handle = spawn_server();
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+
+    let status = |client: &mut ServiceClient| match client.request(&Request::Status).unwrap() {
+        Response::Status(s) => s,
+        other => panic!("{other:?}"),
+    };
+    let s0 = status(&mut client);
+    assert_eq!(s0.snapshots_resident, 0);
+    assert_eq!(s0.snapshots_spilled, 0);
+    assert_eq!(s0.snapshot_shared_bytes + s0.snapshot_owned_bytes, 0);
+
+    // Record enough history to seal chunks (15 s cadence ⇒ the 1024th
+    // sample lands at ~4.3 h), then freeze it.
+    client.request(&Request::Advance { seconds: 18_000 }).unwrap();
+    let Response::SnapshotTaken(info) =
+        client.request(&Request::Snapshot { label: "deep".into() }).unwrap()
+    else {
+        panic!()
+    };
+    let s1 = status(&mut client);
+    assert_eq!(s1.snapshots_resident, 1);
+    assert_eq!(s1.snapshots_spilled, 0);
+    // Four power-only series each sealed one 1024-sample chunk, and
+    // every one of those chunks is aliased with the live twin.
+    assert!(
+        s1.snapshot_shared_bytes >= 4 * 1024 * 8,
+        "sealed history must be refcount-shared with the live twin ({} B)",
+        s1.snapshot_shared_bytes
+    );
+    assert!(
+        s1.snapshot_owned_bytes < s1.snapshot_shared_bytes,
+        "a fresh snapshot owns only unsealed tails ({} owned vs {} shared)",
+        s1.snapshot_owned_bytes,
+        s1.snapshot_shared_bytes
+    );
+
+    // Dropping the snapshot frees its accounting.
+    client.request(&Request::DropSnapshot { snapshot_id: info.id }).unwrap();
+    let s2 = status(&mut client);
+    assert_eq!(s2.snapshots_resident, 0);
+    assert_eq!(s2.snapshot_shared_bytes + s2.snapshot_owned_bytes, 0);
+    handle.shutdown();
+}
+
 /// Byte-budget eviction observed through the wire: with room for only
 /// one outcome, every distinct question evicts the previous answer.
 #[test]
@@ -293,6 +345,8 @@ fn cache_byte_budget_bounds_residency_over_the_wire() {
         energy_std_mwh: 0.0,
         final_pue: None,
         final_utilization: 0.0,
+        draw_avg_power_mw: vec![],
+        draw_energy_mwh: vec![],
         draws: 1,
     });
     let svc = service().with_cache_bytes(one_outcome + one_outcome / 2);

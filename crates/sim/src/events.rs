@@ -263,11 +263,11 @@ impl EventQueue {
 ///
 /// Constant stretches produce no breakpoints; a flat series yields none.
 pub fn series_breakpoints(series: &TimeSeries) -> Vec<u64> {
-    let n = series.values.len();
+    let n = series.len();
     let mut out = Vec::new();
     for i in 0..n {
-        let changes_before = i > 0 && series.values[i - 1] != series.values[i];
-        let changes_after = i + 1 < n && series.values[i] != series.values[i + 1];
+        let changes_before = i > 0 && series[i - 1] != series[i];
+        let changes_after = i + 1 < n && series[i] != series[i + 1];
         if changes_before || changes_after {
             let t = series.time_at(i);
             if t >= 0.0 {

@@ -122,7 +122,7 @@ proptest! {
         let s = TimeSeries::from_values(0.0, 15.0, values);
         let r = s.resample(15.0);
         prop_assert_eq!(r.len(), s.len());
-        for (a, b) in r.values.iter().zip(&s.values) {
+        for (a, b) in r.samples().zip(s.samples()) {
             prop_assert!((a - b).abs() < 1e-9);
         }
     }

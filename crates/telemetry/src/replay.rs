@@ -83,8 +83,8 @@ impl CoolingTrace {
     /// temperatures ride along as auxiliary channels.
     pub fn from_telemetry(day: &TelemetryDay) -> Self {
         let pue = day.cooling.pue.clone();
-        let mut cooling_power = TimeSeries::with_capacity(pue.t0, pue.dt, pue.values.len());
-        for (i, &p) in pue.values.iter().enumerate() {
+        let mut cooling_power = TimeSeries::with_capacity(pue.t0, pue.dt, pue.len());
+        for (i, p) in pue.samples().enumerate() {
             let t = pue.t0 + i as f64 * pue.dt;
             let it_w = day.measured_power_w.sample_at(t);
             cooling_power.push((p - 1.0).max(0.0) * it_w);
@@ -115,8 +115,11 @@ impl CoolingTrace {
 /// [`CoolingCoupling::attach`]: exadigit_raps::simulation::CoolingCoupling::attach
 #[derive(Clone, Serialize, Deserialize)]
 pub struct ReplayCoolingModel {
-    trace: CoolingTrace,
-    vars: Vec<VariableDescriptor>,
+    /// The recorded answers; read-only during replay, so forks share it
+    /// by refcount (its series already share their sealed chunks).
+    trace: std::sync::Arc<CoolingTrace>,
+    /// Immutable after construction; forks share it by refcount.
+    vars: std::sync::Arc<Vec<VariableDescriptor>>,
     values: Vec<f64>,
     num_cdus: usize,
     /// Current simulation time the outputs are sampled at, seconds.
@@ -153,8 +156,13 @@ impl ReplayCoolingModel {
             );
         }
         let values = vec![0.0; reg.len()];
-        let mut model =
-            ReplayCoolingModel { trace, vars: reg.into_vec(), values, num_cdus, time_s: 0.0 };
+        let mut model = ReplayCoolingModel {
+            trace: std::sync::Arc::new(trace),
+            vars: std::sync::Arc::new(reg.into_vec()),
+            values,
+            num_cdus,
+            time_s: 0.0,
+        };
         model.refresh_outputs();
         model
     }
@@ -282,7 +290,7 @@ impl TelemetryFeed {
     /// length), so `record_span` slices shorter than a day are honest.
     pub fn from_day(day: &TelemetryDay, power: &NodePowerConfig) -> Self {
         let jobs: Vec<Job> = day.jobs.iter().map(|rec| rec.to_job(power)).collect();
-        let span_s = day.measured_power_w.values.len() as u64;
+        let span_s = day.measured_power_w.len() as u64;
         TelemetryFeed::new(jobs, day.wet_bulb.clone(), span_s)
             .with_cooling_trace(CoolingTrace::from_telemetry(day))
     }
@@ -301,8 +309,8 @@ impl TelemetryFeed {
         let mut wet_bulb = TimeSeries::with_capacity(0.0, 60.0, (days.max(1) * 1440 + 1) as usize);
         for day in 0..days.max(1) {
             let profile = twin.wet_bulb_day(day);
-            let take = if day + 1 == days.max(1) { profile.values.len() } else { 1440 };
-            for &v in &profile.values[..take] {
+            let take = if day + 1 == days.max(1) { profile.len() } else { 1440 };
+            for v in profile.samples().take(take) {
                 wet_bulb.push(v);
             }
         }
@@ -479,7 +487,7 @@ mod tests {
         let a = TelemetryFeed::synthetic(42, 2);
         let b = TelemetryFeed::synthetic(42, 2);
         assert_eq!(a.pending_jobs(), b.pending_jobs());
-        assert_eq!(a.wet_bulb().values, b.wet_bulb().values);
+        assert_eq!(a.wet_bulb().to_vec(), b.wet_bulb().to_vec());
         assert_eq!(a.span_s(), 2 * SECONDS_PER_DAY);
         // The forcing covers the whole span at 60 s cadence.
         assert!(a.wet_bulb().end_time().unwrap() >= (2 * SECONDS_PER_DAY) as f64 - 60.0);
@@ -513,9 +521,9 @@ mod tests {
         let day = twin.record_span(vec![Job::new(1, "j", 64, 120, 5, 0.5, 0.5)], 120, 0);
         let trace = CoolingTrace::from_telemetry(&day);
         assert_eq!(trace.pue, day.cooling.pue);
-        assert_eq!(trace.cooling_power_w.values.len(), trace.pue.values.len());
+        assert_eq!(trace.cooling_power_w.len(), trace.pue.len());
         // aux = (PUE − 1) × P_IT must be positive for a loaded plant.
-        assert!(trace.cooling_power_w.values.iter().all(|&w| w >= 0.0));
+        assert!(trace.cooling_power_w.samples().all(|w| w >= 0.0));
         // Per-CDU return temps ride along.
         assert!(trace.channels.iter().any(|c| c.name == "cdu[1].primary_return_temp"));
     }

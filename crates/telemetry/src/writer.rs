@@ -124,7 +124,7 @@ mod tests {
         let csv = series_to_csv(&s, "power_w");
         let back = series_from_csv(&csv).unwrap();
         assert_eq!(back.dt, 15.0);
-        assert_eq!(back.values, s.values);
+        assert_eq!(back.to_vec(), s.to_vec());
     }
 
     #[test]

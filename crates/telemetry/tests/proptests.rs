@@ -61,7 +61,7 @@ proptest! {
         let back = series_from_csv(&csv).unwrap();
         prop_assert_eq!(back.len(), s.len());
         prop_assert!((back.dt - 15.0).abs() < 1e-9);
-        for (a, b) in back.values.iter().zip(&s.values) {
+        for (a, b) in back.samples().zip(s.samples()) {
             prop_assert!((a - b).abs() <= 1e-9 * (1.0 + b.abs()));
         }
     }

@@ -35,7 +35,7 @@ pub fn sparkline(values: &[f64]) -> String {
 
 /// Downsample a series to `width` points (mean per bucket) and sparkline it.
 pub fn spark_series(series: &TimeSeries, width: usize) -> String {
-    sparkline(&bucket_means(&series.values, width))
+    sparkline(&bucket_means(&series.to_vec(), width))
 }
 
 /// Bucket-mean downsampling.

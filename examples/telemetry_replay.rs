@@ -59,9 +59,9 @@ fn main() {
     println!("  bias  {:+.2} %", cmp.mean_bias_percent());
 
     let width = 72;
-    let pred_mw: Vec<f64> = bucket_means(&predicted.values, width).iter().map(|w| w / 1e6).collect();
+    let pred_mw: Vec<f64> = bucket_means(&predicted.to_vec(), width).iter().map(|w| w / 1e6).collect();
     let meas_mw: Vec<f64> =
-        bucket_means(&telemetry.measured_power_w.values, width).iter().map(|w| w / 1e6).collect();
+        bucket_means(&telemetry.measured_power_w.to_vec(), width).iter().map(|w| w / 1e6).collect();
     println!("\n{}", line_chart(&[("predicted", &pred_mw), ("measured", &meas_mw)], width, 14));
 
     println!("{report}");

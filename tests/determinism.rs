@@ -18,7 +18,7 @@ fn run_twin(seed: u64, with_cooling: bool, horizon: u64) -> (RunReport, Vec<f64>
     twin.submit(generator.generate_day(0));
     twin.run(horizon).unwrap();
     let pue = twin.cooling_output("pue");
-    (twin.report(), twin.outputs().system_power_w.values.clone(), pue)
+    (twin.report(), twin.outputs().system_power_w.to_vec(), pue)
 }
 
 #[test]
@@ -116,7 +116,7 @@ fn synthetic_twin_telemetry_deterministic() {
         generator.generate_day(0).into_iter().filter(|j| j.submit_time_s < 600).collect();
     let a = twin.record_span(jobs.clone(), 900, 0);
     let b = twin.record_span(jobs, 900, 0);
-    assert_eq!(a.measured_power_w.values, b.measured_power_w.values);
-    assert_eq!(a.cooling.pue.values, b.cooling.pue.values);
-    assert_eq!(a.wet_bulb.values, b.wet_bulb.values);
+    assert_eq!(a.measured_power_w.to_vec(), b.measured_power_w.to_vec());
+    assert_eq!(a.cooling.pue.to_vec(), b.cooling.pue.to_vec());
+    assert_eq!(a.wet_bulb.to_vec(), b.wet_bulb.to_vec());
 }

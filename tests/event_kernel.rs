@@ -65,8 +65,8 @@ fn golden_jobs() -> Vec<Job> {
 }
 
 fn assert_series_bits_equal(name: &str, a: &TimeSeries, b: &TimeSeries) {
-    assert_eq!(a.values.len(), b.values.len(), "{name}: length mismatch");
-    for (i, (x, y)) in a.values.iter().zip(&b.values).enumerate() {
+    assert_eq!(a.len(), b.len(), "{name}: length mismatch");
+    for (i, (x, y)) in a.samples().zip(b.samples()).enumerate() {
         assert_eq!(
             x.to_bits(),
             y.to_bits(),
@@ -196,10 +196,10 @@ fn replay_backend_stays_trace_quantum_aligned() {
     };
     let ps = run(false);
     let ev = run(true);
-    assert_eq!(ev.outputs().pue.values.len(), HORIZON_S as usize / 15);
+    assert_eq!(ev.outputs().pue.len(), HORIZON_S as usize / 15);
     assert_series_bits_equal("pue", &ev.outputs().pue, &ps.outputs().pue);
     // The ramp means consecutive samples differ — alignment is load-bearing.
-    assert!(ev.outputs().pue.values[1] > ev.outputs().pue.values[0]);
+    assert!(ev.outputs().pue[1] > ev.outputs().pue[0]);
 }
 
 #[test]

@@ -86,8 +86,8 @@ fn l4_backend_bit_identical_to_pre_refactor_coupling() {
     let twin = golden_run(CoolingBackend::Plant);
     let out = twin.outputs();
 
-    assert_eq!(out.pue.values.len(), GOLDEN_PUE_BITS.len());
-    for (i, (v, pinned)) in out.pue.values.iter().zip(&GOLDEN_PUE_BITS).enumerate() {
+    assert_eq!(out.pue.len(), GOLDEN_PUE_BITS.len());
+    for (i, (v, pinned)) in out.pue.samples().zip(&GOLDEN_PUE_BITS).enumerate() {
         assert_eq!(
             v.to_bits(),
             *pinned,
@@ -95,8 +95,8 @@ fn l4_backend_bit_identical_to_pre_refactor_coupling() {
             f64::from_bits(*pinned)
         );
     }
-    assert_eq!(out.system_power_w.values.len(), 40);
-    for (i, v) in out.system_power_w.values.iter().enumerate() {
+    assert_eq!(out.system_power_w.len(), 40);
+    for (i, v) in out.system_power_w.samples().enumerate() {
         let pinned = if i < 30 { GOLDEN_POWER_BITS[0] } else { GOLDEN_POWER_BITS[1] };
         assert_eq!(v.to_bits(), pinned, "power sample {i}: {v}");
     }
@@ -111,7 +111,7 @@ fn golden_workload_unchanged_without_cooling() {
     // The power side of the golden run must not depend on the backend at
     // all (cooling is one-way coupled: heat flows in, nothing back).
     let twin = golden_run(CoolingBackend::None);
-    for (i, v) in twin.outputs().system_power_w.values.iter().enumerate() {
+    for (i, v) in twin.outputs().system_power_w.samples().enumerate() {
         let pinned = if i < 30 { GOLDEN_POWER_BITS[0] } else { GOLDEN_POWER_BITS[1] };
         assert_eq!(v.to_bits(), pinned, "power sample {i}: {v}");
     }
@@ -124,7 +124,7 @@ fn replay_backend_rides_the_same_coupling() {
     // the trace instead of the plant.
     let trace = CoolingTrace::constant(1.08, 4.2e5);
     let twin = golden_run(CoolingBackend::Replay(trace));
-    for (i, v) in twin.outputs().system_power_w.values.iter().enumerate() {
+    for (i, v) in twin.outputs().system_power_w.samples().enumerate() {
         let pinned = if i < 30 { GOLDEN_POWER_BITS[0] } else { GOLDEN_POWER_BITS[1] };
         assert_eq!(v.to_bits(), pinned, "power sample {i}: {v}");
     }
@@ -357,16 +357,16 @@ fn online_backend_event_kernel_matches_per_second_bit_for_bit() {
         );
     }
     let (oe, ot) = (event.outputs(), tick.outputs());
-    assert_eq!(oe.pue.values.len(), ot.pue.values.len(), "pue sample counts differ");
-    for (i, (a, b)) in oe.pue.values.iter().zip(&ot.pue.values).enumerate() {
+    assert_eq!(oe.pue.len(), ot.pue.len(), "pue sample counts differ");
+    for (i, (a, b)) in oe.pue.samples().zip(ot.pue.samples()).enumerate() {
         assert_eq!(a.to_bits(), b.to_bits(), "pue sample {i} differs");
     }
     for (name, a, b) in [
         ("system_power_w", &oe.system_power_w, &ot.system_power_w),
         ("utilization", &oe.utilization, &ot.utilization),
     ] {
-        assert_eq!(a.values.len(), b.values.len(), "{name} sample counts differ");
-        for (i, (x, y)) in a.values.iter().zip(&b.values).enumerate() {
+        assert_eq!(a.len(), b.len(), "{name} sample counts differ");
+        for (i, (x, y)) in a.samples().zip(b.samples()).enumerate() {
             assert_eq!(x.to_bits(), y.to_bits(), "{name} sample {i} differs");
         }
     }

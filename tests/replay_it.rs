@@ -85,5 +85,5 @@ fn wet_bulb_forcing_recorded_at_60s() {
     assert_eq!(telemetry.wet_bulb.dt, 60.0);
     assert!(telemetry.wet_bulb.len() >= 10);
     // East-Tennessee-plausible wet bulbs.
-    assert!(telemetry.wet_bulb.values.iter().all(|&t| (-10.0..35.0).contains(&t)));
+    assert!(telemetry.wet_bulb.samples().all(|t| (-10.0..35.0).contains(&t)));
 }

@@ -44,8 +44,8 @@ fn sim(policy: Policy) -> RapsSimulation {
 fn state_digest(s: &RapsSimulation) -> (Vec<u64>, Vec<u64>, u64, u64, usize, usize) {
     let out = s.outputs();
     (
-        out.system_power_w.values.iter().map(|v| v.to_bits()).collect(),
-        out.utilization.values.iter().map(|v| v.to_bits()).collect(),
+        out.system_power_w.samples().map(|v| v.to_bits()).collect(),
+        out.utilization.samples().map(|v| v.to_bits()).collect(),
         out.energy_j.to_bits(),
         s.report().jobs_completed,
         s.running_count(),
@@ -137,6 +137,92 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Aliasing safety under the copy-on-write series representation:
+    /// however hard a fork is mutated — extra load submitted, a long
+    /// recorded run across chunk-seal boundaries — neither the snapshot
+    /// source nor a sibling fork taken earlier may see a single bit of
+    /// it, and the sibling must still advance exactly as a fresh fork
+    /// would.
+    #[test]
+    fn child_mutation_never_leaks_into_parent_or_sibling(
+        jobs in arbitrary_jobs(),
+        fork_at in 60u64..2_000,
+        horizon in 60u64..2_400,
+    ) {
+        let mut live = sim(Policy::EasyBackfill);
+        live.submit_jobs(jobs.clone());
+        live.run_until(fork_at).unwrap();
+        let parent_before = state_digest(&live);
+
+        let mut sibling = live.fork().unwrap();
+        let sibling_before = state_digest(&sibling);
+
+        // Mutate one child hard: surge load plus a recorded run.
+        let mut child = live.fork().unwrap();
+        child.submit_jobs(vec![Job::new(9_999, "surge", 48, 600, fork_at, 0.9, 0.9)]);
+        child.run_until(fork_at + horizon).unwrap();
+
+        prop_assert_eq!(state_digest(&live), parent_before,
+            "parent state mutated through a fork");
+        prop_assert_eq!(state_digest(&sibling), sibling_before,
+            "sibling fork mutated through another fork's run");
+
+        // The untouched sibling continues bit-identically to a fork
+        // taken after the child already diverged.
+        let mut fresh = live.fork().unwrap();
+        sibling.run_until(fork_at + horizon).unwrap();
+        fresh.run_until(fork_at + horizon).unwrap();
+        prop_assert_eq!(state_digest(&sibling), state_digest(&fresh));
+    }
+}
+
+/// A fork of deep recorded history copies **zero** sealed chunks — the
+/// copy-on-write representation makes fork cost O(touched state), not
+/// O(recorded samples). Counted through the thread-local chunk
+/// allocation counter, so everything here stays on one thread.
+#[test]
+fn fork_copies_zero_sealed_chunks() {
+    use exadigit_sim::TimeSeries;
+
+    let mut live = sim(Policy::Fcfs);
+    live.submit_jobs(vec![
+        Job::new(1, "long", 64, 30_000, 0, 0.7, 0.8),
+        Job::new(2, "tail", 32, 12_000, 600, 0.5, 0.5),
+    ]);
+    live.run_until(40_000).unwrap(); // ~2 666 samples at the 15 s cadence
+    assert!(
+        live.outputs().system_power_w.sealed_chunk_count() >= 2,
+        "test needs sealed history to be meaningful"
+    );
+
+    let before = TimeSeries::sealed_chunk_allocations();
+    let fork = live.fork().unwrap();
+    let after = TimeSeries::sealed_chunk_allocations();
+    assert_eq!(after, before, "a fork must not allocate (copy) any sealed chunk");
+    assert!(
+        live.outputs().system_power_w.shares_sealed_chunks_with(&fork.outputs().system_power_w),
+        "fork shares the power history by refcount"
+    );
+    assert!(
+        live.outputs().utilization.shares_sealed_chunks_with(&fork.outputs().utilization),
+        "fork shares the utilization history by refcount"
+    );
+
+    // Diverge the fork across further seal boundaries; the parent's
+    // recorded bits stay exactly where they were.
+    let parent_bits: Vec<u64> =
+        live.outputs().system_power_w.samples().map(f64::to_bits).collect();
+    let mut fork = fork;
+    fork.run_until(80_000).unwrap();
+    let parent_after: Vec<u64> =
+        live.outputs().system_power_w.samples().map(f64::to_bits).collect();
+    assert_eq!(parent_bits, parent_after, "parent history mutated by the fork's run");
+    assert!(fork.outputs().system_power_w.len() > live.outputs().system_power_w.len());
+}
+
 /// Golden pin on the full Frontier system with a day-scale workload: the
 /// fork seam lands in the middle of live queues, running jobs, and
 /// pending events, and the continuation must not notice.
@@ -168,7 +254,7 @@ fn fork_golden_frontier_day_slice() {
 
     assert_eq!(fresh.report(), fork.report());
     assert_eq!(fresh.pool(), fork.pool());
-    let (a, b) = (&fresh.outputs().system_power_w.values, &fork.outputs().system_power_w.values);
+    let (a, b) = (fresh.outputs().system_power_w.to_vec(), fork.outputs().system_power_w.to_vec());
     assert_eq!(a.len(), b.len());
     for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
         assert_eq!(x.to_bits(), y.to_bits(), "power sample {i} diverged");

@@ -49,8 +49,8 @@ fn sim(policy: Policy) -> RapsSimulation {
 fn state_digest(s: &RapsSimulation) -> (Vec<u64>, Vec<u64>, u64, u64, usize, usize) {
     let out = s.outputs();
     (
-        out.system_power_w.values.iter().map(|v| v.to_bits()).collect(),
-        out.utilization.values.iter().map(|v| v.to_bits()).collect(),
+        out.system_power_w.samples().map(|v| v.to_bits()).collect(),
+        out.utilization.samples().map(|v| v.to_bits()).collect(),
         out.energy_j.to_bits(),
         s.report().jobs_completed,
         s.running_count(),
@@ -202,8 +202,8 @@ fn save_load_mid_record_gap_matches_eager_kernel_bit_for_bit() {
             ("loss_w", &ob.loss_w, &oe.loss_w),
             ("efficiency", &ob.efficiency, &oe.efficiency),
         ] {
-            assert_eq!(a.values.len(), b.values.len(), "policy {policy:?}: {name} length");
-            for (i, (x, y)) in a.values.iter().zip(&b.values).enumerate() {
+            assert_eq!(a.len(), b.len(), "policy {policy:?}: {name} length");
+            for (i, (x, y)) in a.samples().zip(b.samples()).enumerate() {
                 assert_eq!(
                     x.to_bits(),
                     y.to_bits(),
@@ -328,13 +328,13 @@ fn golden_fixture_frontier_day_loads_and_replays_bit_identically() {
 
     assert_eq!(fresh.report(), loaded.report());
     let (a, b) = (fresh.outputs(), loaded.outputs());
-    assert_eq!(a.system_power_w.values.len(), b.system_power_w.values.len());
+    assert_eq!(a.system_power_w.len(), b.system_power_w.len());
     for (i, (x, y)) in
-        a.system_power_w.values.iter().zip(b.system_power_w.values.iter()).enumerate()
+        a.system_power_w.samples().zip(b.system_power_w.samples()).enumerate()
     {
         assert_eq!(x.to_bits(), y.to_bits(), "power sample {i} diverged");
     }
-    for (i, (x, y)) in a.utilization.values.iter().zip(b.utilization.values.iter()).enumerate()
+    for (i, (x, y)) in a.utilization.samples().zip(b.utilization.samples()).enumerate()
     {
         assert_eq!(x.to_bits(), y.to_bits(), "utilization sample {i} diverged");
     }

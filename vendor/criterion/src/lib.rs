@@ -6,7 +6,10 @@
 //! `criterion_group!` / `criterion_main!` macros) with a simple
 //! measure-and-print harness: each benchmark is warmed up once, then timed
 //! over enough iterations to fill a small measurement window, and the
-//! mean ns/iter is printed. No statistics, plots, or baselines.
+//! mean ns/iter is printed. Substring filters work like real criterion's
+//! (`cargo bench --bench <target> -- <filter>` runs only benchmarks whose
+//! full `group/name` id contains a non-flag argument). No statistics,
+//! plots, or baselines.
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -91,11 +94,31 @@ impl Bencher {
     }
 }
 
+/// Apply the CLI's substring filters: a benchmark runs when its full id
+/// contains any non-flag argument, or when no filter was given. Flags
+/// (`--bench` and friends, injected by cargo) are ignored.
+fn matches_filter(full: &str) -> bool {
+    let mut saw_filter = false;
+    for arg in std::env::args().skip(1) {
+        if arg.starts_with('-') {
+            continue;
+        }
+        if full.contains(&arg) {
+            return true;
+        }
+        saw_filter = true;
+    }
+    !saw_filter
+}
+
 fn run_one(group: Option<&str>, id: &str, measurement_time: Duration, f: &mut dyn FnMut(&mut Bencher)) {
     let full = match group {
         Some(g) => format!("{g}/{id}"),
         None => id.to_string(),
     };
+    if !matches_filter(&full) {
+        return;
+    }
     let mut b = Bencher::new(measurement_time);
     f(&mut b);
     if b.mean_ns.is_nan() {

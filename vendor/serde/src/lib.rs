@@ -352,6 +352,21 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
+// `Arc` is wire-transparent, like `Box`: shared immutable state (e.g. a
+// cooling model's variable table behind a copy-on-write fork) serializes
+// as the value itself and deserializes into a fresh, uniquely-held arc.
+impl<T: Serialize> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(std::sync::Arc::new)
+    }
+}
+
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
         match self {
