@@ -130,6 +130,20 @@ impl DigitalTwin {
         self.sim.report()
     }
 
+    /// The event kernel's observability counters (shared atomic
+    /// handles; see `exadigit_raps::metrics::KernelMetrics`).
+    pub fn kernel_metrics(&self) -> &exadigit_raps::metrics::KernelMetrics {
+        self.sim.metrics()
+    }
+
+    /// Route the event kernel's counts through caller-owned handles
+    /// (how the service feeds its metrics registry). Counters are
+    /// diagnostics, not state: they are never serialized, and forks of
+    /// this twin share the attached handles.
+    pub fn set_kernel_metrics(&mut self, metrics: exadigit_raps::metrics::KernelMetrics) {
+        self.sim.set_metrics(metrics);
+    }
+
     /// The L1 scene graph for this system (Frontier layout; generated
     /// scenes for other systems are future work, as in the paper).
     pub fn scene(&self) -> SceneGraph {

@@ -1,0 +1,181 @@
+//! A minimal plain-HTTP exposition sidecar.
+//!
+//! [`HttpExporter`] serves `GET /metrics` (Prometheus text format,
+//! rendered by a caller-supplied closure) from one background thread.
+//! It is deliberately *not* a web framework: one request per
+//! connection, `Connection: close`, a read timeout so a stalled
+//! scraper cannot park the thread, and the same connect-to-self wake
+//! trick the serving tier uses for shutdown. Scrapes are low-rate by
+//! design (seconds apart), so a single blocking accept loop is the
+//! right amount of machinery.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running metrics HTTP listener (joined on [`HttpExporter::shutdown`]
+/// or drop).
+pub struct HttpExporter {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl HttpExporter {
+    /// Bind `addr` (port 0 for OS-assigned) and serve `GET /metrics`
+    /// with the text `render` produces. The closure runs on the
+    /// exporter thread once per scrape.
+    pub fn serve(
+        addr: &str,
+        render: impl Fn() -> String + Send + 'static,
+    ) -> std::io::Result<HttpExporter> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let join = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, render, stop))
+        };
+        Ok(HttpExporter { addr, stop, join: Some(join) })
+    }
+
+    /// The bound address (point the scraper here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener and join its thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept; an error just means the listener
+        // already went away.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for HttpExporter {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, render: impl Fn() -> String, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = handle_scrape(stream, &render);
+    }
+}
+
+/// Read one HTTP request head and answer it. Anything that is not
+/// `GET /metrics` (or `GET /`) gets a 404; a malformed or stalled
+/// request is dropped.
+fn handle_scrape(mut stream: TcpStream, render: &impl Fn() -> String) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    // Read until the end of the request head (or 8 KiB — scrape
+    // requests have no body worth reading).
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8 * 1024 {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(_) => break,
+        }
+    }
+    let request_line = head
+        .split(|&b| b == b'\r' || b == b'\n')
+        .next()
+        .map(|l| String::from_utf8_lossy(l).to_string())
+        .unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let response = if method == "GET" && (path == "/metrics" || path == "/") {
+        let body = render();
+        format!(
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    } else {
+        let body = "not found; scrape /metrics\n";
+        format!(
+            "HTTP/1.1 404 Not Found\r\nContent-Type: text/plain; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )
+    };
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufRead;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+        let mut reader = std::io::BufReader::new(stream);
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut body = String::new();
+        // Skip headers, then read the body to EOF (Connection: close).
+        let mut line = String::new();
+        while reader.read_line(&mut line).unwrap() > 0 {
+            if line == "\r\n" {
+                break;
+            }
+            line.clear();
+        }
+        reader.read_to_string(&mut body).unwrap();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_metrics_and_404s_everything_else() {
+        let exporter =
+            HttpExporter::serve("127.0.0.1:0", || "demo_metric 1\n".to_string()).unwrap();
+        let (status, body) = get(exporter.addr(), "/metrics");
+        assert!(status.starts_with("HTTP/1.1 200"), "{status}");
+        assert_eq!(body, "demo_metric 1\n");
+        let (status, _) = get(exporter.addr(), "/nope");
+        assert!(status.starts_with("HTTP/1.1 404"), "{status}");
+        // Each scrape re-renders.
+        let (_, body) = get(exporter.addr(), "/metrics");
+        assert_eq!(body, "demo_metric 1\n");
+        exporter.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_the_thread() {
+        let exporter = HttpExporter::serve("127.0.0.1:0", String::new).unwrap();
+        let addr = exporter.addr();
+        exporter.shutdown();
+        // The listener is gone: connecting may succeed at the TCP level
+        // transiently but a scrape gets no response.
+        let mut ok = false;
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = write!(s, "GET /metrics HTTP/1.1\r\n\r\n");
+            let mut out = String::new();
+            s.set_read_timeout(Some(Duration::from_millis(200))).unwrap();
+            ok = s.read_to_string(&mut out).map(|n| n > 0).unwrap_or(false);
+        }
+        assert!(!ok, "no scrape is served after shutdown");
+    }
+}

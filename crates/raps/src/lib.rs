@@ -33,6 +33,7 @@ pub mod arrivals;
 pub mod config;
 pub mod fingerprint;
 pub mod job;
+pub mod metrics;
 pub mod power;
 pub mod scheduler;
 pub mod simulation;

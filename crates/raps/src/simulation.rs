@@ -40,6 +40,7 @@
 
 use crate::config::SystemConfig;
 use crate::job::{Job, JobState, UtilTrace};
+use crate::metrics::KernelMetrics;
 use crate::power::{PowerAccumulator, PowerDelivery, PowerModel, PowerSnapshot};
 use crate::scheduler::{schedule_jobs, NodePool, Policy, RunningRelease};
 use crate::stats::RunReport;
@@ -316,6 +317,13 @@ pub struct RapsSimulation {
     events: EventQueue,
     /// Scratch buffer reused when draining due events.
     event_buf: Vec<Event>,
+    /// Kernel observability counters. Deliberately *not* part of
+    /// [`RapsState`]: counters are diagnostics, not simulation state, so
+    /// the snapshot format stays byte-stable and restored twins start
+    /// fresh. Forks share the parent's handles by refcount
+    /// ([`KernelMetrics`] is `Arc`'d atomics), so one attached set
+    /// observes the live twin and every what-if branched from it.
+    metrics: KernelMetrics,
     completed: u64,
     /// Total nodes currently allocated (cached sum of `rack_allocated`,
     /// kept in lockstep so `utilization` is O(1) on the hot path).
@@ -385,6 +393,7 @@ impl RapsSimulation {
             record_every_s,
             events,
             event_buf: Vec::new(),
+            metrics: KernelMetrics::new(),
             completed: 0,
             active_nodes: 0,
             variable_running: 0,
@@ -760,6 +769,7 @@ impl RapsSimulation {
                     .event_buf
                     .iter()
                     .any(|e| e.kind == EventKind::JobCompletion);
+                self.metrics.note_events(&self.event_buf);
                 self.event_buf.clear();
                 self.step_second(target, true, completion_due)?;
                 continue;
@@ -809,6 +819,7 @@ impl RapsSimulation {
                 .event_buf
                 .iter()
                 .any(|e| e.kind == EventKind::JobCompletion);
+            self.metrics.note_events(&self.event_buf);
             self.event_buf.clear();
             self.step_second(next, true, completion_due)?;
         }
@@ -865,10 +876,12 @@ impl RapsSimulation {
             return Ok(false);
         }
         cooling.model.repeat_step(k);
+        self.metrics.cooled_quanta_batched.add(k);
         if let Some(vr) = cooling.pue_output {
             let pue = cooling.model.get_real(vr)?;
             self.outputs.pue.push_n(pue, k as usize);
             self.outputs.pue_stats.push_n(pue, k);
+            self.metrics.samples_backfilled.add(k);
         }
         // The jump itself — identical arithmetic to the no-cooling lazy
         // path above.
@@ -885,6 +898,7 @@ impl RapsSimulation {
             self.events.drain_due(target, &mut self.event_buf);
             let completion_due =
                 self.event_buf.iter().any(|e| e.kind == EventKind::JobCompletion);
+            self.metrics.note_events(&self.event_buf);
             self.event_buf.clear();
             self.step_second(target, true, completion_due)?;
         }
@@ -912,6 +926,9 @@ impl RapsSimulation {
         self.outputs.loss_w.push_n(self.snapshot.loss_w, k);
         self.outputs.utilization.push_n(util, k);
         self.outputs.efficiency.push_n(self.snapshot.efficiency, k);
+        // 4 channels materialised k samples each without visiting a
+        // boundary (the pue channel counts at its own push_n site).
+        self.metrics.samples_backfilled.add(4 * k as u64);
     }
 
     /// Account `seconds` of steady state (no events): energy integrates
@@ -921,6 +938,7 @@ impl RapsSimulation {
         if seconds == 0 {
             return;
         }
+        self.metrics.gaps_batched.inc();
         self.outputs.energy_j += seconds as f64 * self.snapshot.system_w;
         let util = self.utilization();
         self.outputs.power_stats.push_n(self.snapshot.system_w, seconds);
@@ -946,6 +964,19 @@ impl RapsSimulation {
             rj.job.cpu_util.at(elapsed) == rj.last_cpu
                 && rj.job.gpu_util.at(elapsed) == rj.last_gpu
         })
+    }
+
+    /// The kernel's observability counters (shared atomic handles).
+    pub fn metrics(&self) -> &KernelMetrics {
+        &self.metrics
+    }
+
+    /// Replace the kernel's counter handles — how a service routes the
+    /// kernel's counts into its metrics registry. Counts accumulated on
+    /// the old handles stay with them; attach before running. Later
+    /// forks share the new handles.
+    pub fn set_metrics(&mut self, metrics: KernelMetrics) {
+        self.metrics = metrics;
     }
 
     /// Duplicate the *entire* simulation state mid-run — the snapshot/fork
@@ -985,6 +1016,7 @@ impl RapsSimulation {
             record_every_s: self.record_every_s,
             events: self.events.clone(),
             event_buf: Vec::new(),
+            metrics: self.metrics.clone(),
             completed: self.completed,
             active_nodes: self.active_nodes,
             variable_running: self.variable_running,
@@ -1090,6 +1122,7 @@ impl RapsSimulation {
             record_every_s: state.record_every_s,
             events: state.events,
             event_buf: Vec::new(),
+            metrics: KernelMetrics::new(),
             completed: state.completed,
             active_nodes: state.active_nodes,
             variable_running: state.variable_running,

@@ -21,7 +21,28 @@
 //! clients actually re-ask, where the old FIFO evicted them on a clock.
 
 use crate::query::{WhatIfOutcome, WhatIfSpec};
+use exadigit_obs::{Counter, Gauge};
 use std::collections::{BTreeMap, HashMap};
+
+/// The cache's registry handles: lifetime hit/miss/eviction counters
+/// plus occupancy gauges. Defaults to detached (unregistered)
+/// instruments so a standalone [`QueryCache`] still counts; the service
+/// swaps in registry-backed handles via [`QueryCache::set_metrics`] so
+/// the same totals surface in `Status`, the `Metrics` verb, and the
+/// Prometheus scrape.
+#[derive(Clone, Default)]
+pub(crate) struct CacheMetrics {
+    /// Lookups answered from memory.
+    pub hits: Counter,
+    /// Lookups that fell through to a fresh ensemble run.
+    pub misses: Counter,
+    /// Entries evicted by the LRU cap or byte budget (not invalidation).
+    pub evictions: Counter,
+    /// Outcomes currently memoised.
+    pub entries: Gauge,
+    /// Resident bytes across memoised outcomes.
+    pub bytes: Gauge,
+}
 
 /// FNV-1a 64-bit over a byte string.
 fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -73,8 +94,7 @@ pub struct QueryCache {
     capacity: usize,
     byte_budget: usize,
     total_bytes: usize,
-    hits: u64,
-    misses: u64,
+    metrics: CacheMetrics,
 }
 
 impl QueryCache {
@@ -88,9 +108,21 @@ impl QueryCache {
             capacity: capacity.max(1),
             byte_budget: DEFAULT_BYTE_BUDGET,
             total_bytes: 0,
-            hits: 0,
-            misses: 0,
+            metrics: CacheMetrics::default(),
         }
+    }
+
+    /// Attach registry-backed instruments (replacing the detached
+    /// defaults) and publish current occupancy to the gauges.
+    pub(crate) fn set_metrics(&mut self, metrics: CacheMetrics) {
+        self.metrics = metrics;
+        self.sync_gauges();
+    }
+
+    /// Publish occupancy to the entry/byte gauges after any mutation.
+    fn sync_gauges(&self) {
+        self.metrics.entries.set(self.map.len() as f64);
+        self.metrics.bytes.set(self.total_bytes as f64);
     }
 
     /// Cap resident outcome bytes (builder style). An outcome larger
@@ -98,6 +130,7 @@ impl QueryCache {
     pub fn with_byte_budget(mut self, bytes: usize) -> Self {
         self.byte_budget = bytes.max(1);
         self.evict_to_fit(0);
+        self.sync_gauges();
         self
     }
 
@@ -106,7 +139,7 @@ impl QueryCache {
     pub fn get(&mut self, snapshot_id: u64, fingerprint: u64) -> Option<WhatIfOutcome> {
         match self.map.get_mut(&(snapshot_id, fingerprint)) {
             Some(entry) => {
-                self.hits += 1;
+                self.metrics.hits.inc();
                 self.lru.remove(&entry.tick);
                 self.tick += 1;
                 entry.tick = self.tick;
@@ -114,7 +147,7 @@ impl QueryCache {
                 Some(entry.outcome.clone())
             }
             None => {
-                self.misses += 1;
+                self.metrics.misses.inc();
                 None
             }
         }
@@ -138,6 +171,7 @@ impl QueryCache {
         self.lru.insert(self.tick, key);
         self.total_bytes += bytes;
         self.map.insert(key, CacheEntry { outcome, bytes, tick: self.tick });
+        self.sync_gauges();
     }
 
     /// Evict LRU-first until an `incoming`-byte entry fits both bounds.
@@ -148,6 +182,7 @@ impl QueryCache {
             self.lru.remove(&tick);
             if let Some(entry) = self.map.remove(&key) {
                 self.total_bytes -= entry.bytes;
+                self.metrics.evictions.inc();
             }
         }
     }
@@ -167,6 +202,7 @@ impl QueryCache {
             self.lru.remove(&tick);
             self.total_bytes -= bytes;
         }
+        self.sync_gauges();
     }
 
     /// Number of memoised outcomes.
@@ -194,9 +230,16 @@ impl QueryCache {
         self.total_bytes
     }
 
-    /// Lifetime (hits, misses).
+    /// Lifetime (hits, misses). Reads the same counters the metrics
+    /// registry exposes, so `Status` and a Prometheus scrape can never
+    /// disagree.
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        (self.metrics.hits.get(), self.metrics.misses.get())
+    }
+
+    /// Lifetime LRU/byte-budget evictions.
+    pub fn evictions(&self) -> u64 {
+        self.metrics.evictions.get()
     }
 }
 
@@ -319,6 +362,24 @@ mod tests {
         let mut cache = QueryCache::new(8).with_byte_budget(outcome_bytes(&lean) * 2);
         cache.insert(1, 10, fat);
         assert!(cache.get(1, 10).is_none(), "outcome larger than the budget is not cached");
+    }
+
+    #[test]
+    fn eviction_counter_and_occupancy_gauges_track_mutations() {
+        let mut cache = QueryCache::new(2);
+        let metrics = CacheMetrics::default();
+        cache.set_metrics(metrics.clone());
+        cache.insert(1, 10, outcome("a"));
+        cache.insert(1, 20, outcome("b"));
+        cache.insert(1, 30, outcome("c"));
+        assert_eq!(metrics.evictions.get(), 1, "third insert evicts the LRU entry");
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(metrics.entries.get(), 2.0);
+        assert_eq!(metrics.bytes.get(), cache.total_bytes() as f64);
+        cache.invalidate_snapshot(1);
+        assert_eq!(metrics.entries.get(), 0.0);
+        assert_eq!(metrics.bytes.get(), 0.0);
+        assert_eq!(metrics.evictions.get(), 1, "invalidation is not an eviction");
     }
 
     #[test]

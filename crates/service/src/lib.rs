@@ -65,6 +65,7 @@
 
 mod cache;
 mod client;
+mod metrics;
 mod persist;
 mod pool;
 mod protocol;
@@ -77,7 +78,8 @@ pub use client::ServiceClient;
 pub use persist::{ManifestEntry, ManifestHeader, PersistError, MANIFEST_FORMAT_VERSION};
 pub use pool::{ServerConfig, ServerHandle, TwinServer};
 pub use protocol::{
-    read_message, write_message, BatchOutcome, Request, Response, ServerStatus, MAX_LINE_BYTES,
+    read_message, write_message, BatchOutcome, CounterSample, GaugeSample, HistogramSample,
+    MetricsReport, Request, Response, ServerStatus, SlowQueryEntry, TraceEntry, MAX_LINE_BYTES,
 };
 pub use query::{run_whatif, WhatIfOutcome, WhatIfSpec};
 pub use server::TwinService;

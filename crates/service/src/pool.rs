@@ -31,15 +31,17 @@
 //! returning while a handler mid-`Advance` still mutates the live
 //! twin) is gone at the architectural level.
 
+use crate::metrics::{request_kind, ServiceObs, REQUEST_KINDS};
 use crate::protocol::{Request, Response, MAX_LINE_BYTES};
 use crate::server::TwinService;
+use exadigit_obs::{HttpExporter, Stage, TraceEvent};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Serving-tier tuning knobs (see `docs/SERVICE.md` § "Serving tier").
 #[derive(Debug, Clone)]
@@ -59,6 +61,11 @@ pub struct ServerConfig {
     pub max_inflight_per_client: usize,
     /// Back-off hint carried by [`Response::Busy`], milliseconds.
     pub retry_after_ms: u64,
+    /// How long a reader sleeps when every socket it owns is idle.
+    /// Shorter naps shave admission latency at the cost of idle CPU;
+    /// the productive/wasted wakeup counters
+    /// (`exadigit_reader_wakeups_total`) show which way to tune it.
+    pub reader_nap: Duration,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +76,7 @@ impl Default for ServerConfig {
             queue_depth: 128,
             max_inflight_per_client: 2,
             retry_after_ms: 20,
+            reader_nap: Duration::from_micros(250),
         }
     }
 }
@@ -78,6 +86,8 @@ struct Ticket {
     conn: Arc<ConnShared>,
     seq: u64,
     request: Request,
+    /// Admission instant; queue wait = pop time − this.
+    admitted_at: Instant,
 }
 
 /// The bounded MPMC request queue between readers and workers.
@@ -85,6 +95,9 @@ struct RequestQueue {
     state: Mutex<QueueState>,
     ready: Condvar,
     depth: usize,
+    /// `exadigit_queue_depth`, updated under the queue mutex so the
+    /// gauge and the queue can't disagree.
+    depth_gauge: exadigit_obs::Gauge,
 }
 
 struct QueueState {
@@ -93,11 +106,12 @@ struct QueueState {
 }
 
 impl RequestQueue {
-    fn new(depth: usize) -> Self {
+    fn new(depth: usize, depth_gauge: exadigit_obs::Gauge) -> Self {
         RequestQueue {
             state: Mutex::new(QueueState { tickets: VecDeque::new(), closed: false }),
             ready: Condvar::new(),
             depth: depth.max(1),
+            depth_gauge,
         }
     }
 
@@ -109,6 +123,7 @@ impl RequestQueue {
             return Some(ticket);
         }
         state.tickets.push_back(ticket);
+        self.depth_gauge.set(state.tickets.len() as f64);
         drop(state);
         self.ready.notify_one();
         None
@@ -120,6 +135,7 @@ impl RequestQueue {
         let mut state = self.state.lock().unwrap();
         loop {
             if let Some(ticket) = state.tickets.pop_front() {
+                self.depth_gauge.set(state.tickets.len() as f64);
                 return Some(ticket);
             }
             if state.closed {
@@ -176,6 +192,9 @@ struct ConnShared {
     /// Admitted-but-unanswered requests on this connection (the
     /// fairness cap meters this).
     inflight: AtomicUsize,
+    /// Server-assigned connection id, labelling this connection's
+    /// events in the request trace.
+    id: u64,
 }
 
 struct WriteState {
@@ -230,6 +249,7 @@ struct ReaderCtx {
     shutdown: Arc<AtomicBool>,
     config: ServerConfig,
     addr: SocketAddr,
+    obs: Arc<ServiceObs>,
 }
 
 /// Drain readable bytes from one connection and admit complete lines.
@@ -304,16 +324,39 @@ fn process_line(conn: &mut Connection, line: &[u8], ctx: &ReaderCtx) -> bool {
     }
     // Admission control. Fairness first: a connection over its
     // in-flight cap is refused before it can contend for queue slots.
+    let kind = REQUEST_KINDS[request_kind(&request)];
+    let trace_stage = |stage: Stage| {
+        if ctx.obs.on() {
+            ctx.obs.trace.push(TraceEvent {
+                at_us: ctx.obs.trace.now_us(),
+                conn: conn.shared.id,
+                seq,
+                request: kind,
+                stage,
+                stage_us: 0,
+            });
+        }
+    };
     let busy = Response::Busy { retry_after_ms: ctx.config.retry_after_ms };
     if conn.shared.inflight.load(Ordering::SeqCst) >= ctx.config.max_inflight_per_client {
+        if ctx.obs.on() {
+            ctx.obs.busy_inflight.inc();
+        }
+        trace_stage(Stage::Rejected);
         conn.shared.complete(seq, busy);
         return false;
     }
     conn.shared.inflight.fetch_add(1, Ordering::SeqCst);
-    let ticket = Ticket { conn: Arc::clone(&conn.shared), seq, request };
+    trace_stage(Stage::Admitted);
+    let ticket =
+        Ticket { conn: Arc::clone(&conn.shared), seq, request, admitted_at: Instant::now() };
     if ctx.queue.try_push(ticket).is_some() {
         // Queue full (or closing): back the client off instead of
         // queueing unboundedly.
+        if ctx.obs.on() {
+            ctx.obs.busy_queue_full.inc();
+        }
+        trace_stage(Stage::Rejected);
         conn.shared.inflight.fetch_sub(1, Ordering::SeqCst);
         conn.shared.complete(seq, busy);
     }
@@ -347,16 +390,61 @@ fn reader_loop(incoming: mpsc::Receiver<Connection>, ctx: ReaderCtx) {
                 }
             }
         }
+        if ctx.obs.on() {
+            if progressed {
+                ctx.obs.wakeups_productive.inc();
+            } else {
+                ctx.obs.wakeups_wasted.inc();
+            }
+        }
         if !progressed {
-            std::thread::sleep(Duration::from_micros(250));
+            std::thread::sleep(ctx.config.reader_nap);
         }
     }
 }
 
-/// One worker: execute admitted requests against the service.
+/// One worker: execute admitted requests against the service, feeding
+/// the queue-wait histogram, the lifecycle trace, and the slow-query
+/// log along the way.
 fn worker_loop(queue: Arc<RequestQueue>, service: Arc<TwinService>) {
+    let obs = Arc::clone(service.obs());
     while let Some(ticket) = queue.pop() {
+        let on = obs.on();
+        let kind = REQUEST_KINDS[request_kind(&ticket.request)];
+        let queue_wait = ticket.admitted_at.elapsed();
+        if on {
+            obs.queue_wait_seconds.observe_duration(queue_wait);
+            obs.trace.push(TraceEvent {
+                at_us: obs.trace.now_us(),
+                conn: ticket.conn.id,
+                seq: ticket.seq,
+                request: kind,
+                stage: Stage::Executing,
+                stage_us: queue_wait.as_micros() as u64,
+            });
+        }
+        let started = Instant::now();
         let response = service.handle(&ticket.request);
+        let handled = started.elapsed();
+        if on {
+            obs.trace.push(TraceEvent {
+                at_us: obs.trace.now_us(),
+                conn: ticket.conn.id,
+                seq: ticket.seq,
+                request: kind,
+                stage: Stage::Written,
+                stage_us: handled.as_micros() as u64,
+            });
+            let logged = obs.slowlog.record(
+                kind,
+                || crate::metrics::request_detail(&ticket.request),
+                queue_wait.as_micros() as u64,
+                handled.as_micros() as u64,
+            );
+            if logged {
+                obs.slow_queries_total.inc();
+            }
+        }
         ticket.conn.complete(ticket.seq, response);
         ticket.conn.inflight.fetch_sub(1, Ordering::SeqCst);
     }
@@ -371,7 +459,8 @@ fn supervise(
     shutdown: Arc<AtomicBool>,
     addr: SocketAddr,
 ) {
-    let queue = Arc::new(RequestQueue::new(config.queue_depth));
+    let obs = Arc::clone(service.obs());
+    let queue = Arc::new(RequestQueue::new(config.queue_depth, obs.queue_depth.clone()));
     let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
         .map(|_| {
             let queue = Arc::clone(&queue);
@@ -389,12 +478,14 @@ fn supervise(
                 shutdown: Arc::clone(&shutdown),
                 config: config.clone(),
                 addr,
+                obs: Arc::clone(&obs),
             };
             std::thread::spawn(move || reader_loop(rx, ctx))
         })
         .collect();
 
     let mut next_reader = 0usize;
+    let mut next_conn_id = 0u64;
     for stream in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
@@ -404,6 +495,7 @@ fn supervise(
             continue;
         }
         let Ok(write_half) = stream.try_clone() else { continue };
+        next_conn_id += 1;
         let conn = Connection {
             stream,
             buf: Vec::new(),
@@ -416,6 +508,7 @@ fn supervise(
                     dead: false,
                 }),
                 inflight: AtomicUsize::new(0),
+                id: next_conn_id,
             }),
         };
         let _ = senders[next_reader % senders.len()].send(conn);
@@ -440,6 +533,9 @@ pub struct TwinServer {
     listener: TcpListener,
     service: Arc<TwinService>,
     config: ServerConfig,
+    /// Optional Prometheus scrape endpoint (`with_metrics_http`),
+    /// serving from bind time until the handle drains.
+    metrics_http: Option<HttpExporter>,
 }
 
 impl TwinServer {
@@ -451,6 +547,7 @@ impl TwinServer {
             listener: TcpListener::bind(addr)?,
             service: Arc::new(service),
             config: ServerConfig::default(),
+            metrics_http: None,
         })
     }
 
@@ -478,6 +575,28 @@ impl TwinServer {
         self
     }
 
+    /// Set the readers' idle nap (builder style): how long a reader
+    /// sleeps when every socket it owns is idle.
+    pub fn with_reader_nap(mut self, nap: Duration) -> Self {
+        self.config.reader_nap = nap;
+        self
+    }
+
+    /// Start a plain-HTTP metrics sidecar on `addr` (use port 0 for an
+    /// OS-assigned port): `GET /metrics` answers the service's registry
+    /// in Prometheus text exposition format 0.0.4. The listener serves
+    /// immediately and stops when the server handle drains.
+    pub fn with_metrics_http(mut self, addr: &str) -> std::io::Result<Self> {
+        let service = Arc::clone(&self.service);
+        self.metrics_http = Some(HttpExporter::serve(addr, move || service.render_prometheus())?);
+        Ok(self)
+    }
+
+    /// The metrics sidecar's bound address, when one was started.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_http.as_ref().map(|h| h.addr())
+    }
+
     /// The bound address (connect [`crate::ServiceClient`] here).
     pub fn local_addr(&self) -> SocketAddr {
         self.listener.local_addr().expect("bound listener has an address")
@@ -494,7 +613,13 @@ impl TwinServer {
             let config = self.config;
             std::thread::spawn(move || supervise(self.listener, service, config, shutdown, addr))
         };
-        ServerHandle { addr, shutdown, service: self.service, join: Some(supervisor) }
+        ServerHandle {
+            addr,
+            shutdown,
+            service: self.service,
+            join: Some(supervisor),
+            metrics_http: self.metrics_http,
+        }
     }
 }
 
@@ -506,12 +631,19 @@ pub struct ServerHandle {
     shutdown: Arc<AtomicBool>,
     service: Arc<TwinService>,
     join: Option<JoinHandle<()>>,
+    metrics_http: Option<HttpExporter>,
 }
 
 impl ServerHandle {
     /// Address clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The metrics sidecar's address, when the server was built with
+    /// [`TwinServer::with_metrics_http`].
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_http.as_ref().map(|h| h.addr())
     }
 
     /// The served [`TwinService`] (e.g. to observe state after
@@ -533,6 +665,11 @@ impl ServerHandle {
         let _ = TcpStream::connect(self.addr);
         if let Some(join) = self.join.take() {
             let _ = join.join();
+        }
+        // Stop the scrape endpoint last so metrics stay observable
+        // through the drain itself.
+        if let Some(exporter) = self.metrics_http.take() {
+            exporter.shutdown();
         }
     }
 }

@@ -70,6 +70,12 @@ pub enum Request {
     },
     /// Stop accepting connections and shut the server down.
     Shutdown,
+    /// Typed snapshot of the service's observability surface: every
+    /// registry counter, gauge and histogram (with precomputed
+    /// quantiles), the recent request trace, the slow-query log, and
+    /// any recovery warnings. The same registry also renders as
+    /// Prometheus text on the optional HTTP sidecar.
+    Metrics,
 }
 
 /// Server/live-twin status (the `Status` response payload).
@@ -123,6 +129,100 @@ pub struct ServerStatus {
     /// Approximate recorded-history bytes uniquely owned by resident
     /// snapshots — what dropping them would actually free.
     pub snapshot_owned_bytes: u64,
+}
+
+/// One counter sample in a [`MetricsReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSample {
+    /// Metric name, e.g. `exadigit_requests_total`.
+    pub name: String,
+    /// Label pairs, e.g. `[("type", "Query")]`.
+    pub labels: Vec<(String, String)>,
+    /// Monotone total.
+    pub value: u64,
+}
+
+/// One gauge sample in a [`MetricsReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Metric name, e.g. `exadigit_queue_depth`.
+    pub name: String,
+    /// Label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Last set value.
+    pub value: f64,
+}
+
+/// One histogram sample in a [`MetricsReport`], summarised as count,
+/// sum and precomputed quantiles (the full bucket vector is available
+/// on the Prometheus surface).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Metric name, e.g. `exadigit_request_seconds`.
+    pub name: String,
+    /// Label pairs, e.g. `[("type", "Query")]`.
+    pub labels: Vec<(String, String)>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Median, estimated from bucket counts.
+    pub p50: f64,
+    /// 90th percentile, estimated from bucket counts.
+    pub p90: f64,
+    /// 99th percentile, estimated from bucket counts.
+    pub p99: f64,
+}
+
+/// One slow-query log entry in a [`MetricsReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowQueryEntry {
+    /// Microseconds since the service's observability epoch.
+    pub at_us: u64,
+    /// Request type name, e.g. `"QueryBatch"`.
+    pub request: String,
+    /// One-line request summary (e.g. snapshot id and draw count).
+    pub detail: String,
+    /// Microseconds spent queued before a worker picked it up.
+    pub queue_us: u64,
+    /// Microseconds the handler ran.
+    pub handle_us: u64,
+}
+
+/// One request-lifecycle trace event in a [`MetricsReport`], oldest
+/// first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Microseconds since the service's observability epoch.
+    pub at_us: u64,
+    /// Server-assigned connection id.
+    pub conn: u64,
+    /// Request sequence number within the connection.
+    pub seq: u64,
+    /// Request type name.
+    pub request: String,
+    /// Lifecycle stage: `admitted`, `executing`, `written`, `rejected`.
+    pub stage: String,
+    /// Microseconds spent in the previous stage (0 at admission).
+    pub stage_us: u64,
+}
+
+/// Reply payload of [`Request::Metrics`]: the registry's current
+/// samples plus the diagnostic rings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Every registered counter, in registration order.
+    pub counters: Vec<CounterSample>,
+    /// Every registered gauge, in registration order.
+    pub gauges: Vec<GaugeSample>,
+    /// Every registered histogram, in registration order.
+    pub histograms: Vec<HistogramSample>,
+    /// Slow-query log entries, oldest first.
+    pub slow_queries: Vec<SlowQueryEntry>,
+    /// Recent request-lifecycle trace, oldest first.
+    pub trace: Vec<TraceEntry>,
+    /// Damage reports from manifest recovery (empty for a clean start).
+    pub recovery_warnings: Vec<String>,
 }
 
 /// A server response (one JSON line).
@@ -186,6 +286,8 @@ pub enum Response {
     /// Reply to [`Request::Shutdown`]; the server stops accepting
     /// connections after sending it.
     ShuttingDown,
+    /// Reply to [`Request::Metrics`].
+    Metrics(MetricsReport),
     /// Any failure: unknown snapshot, malformed request, fork error, …
     Error {
         /// Human-readable cause.
@@ -312,6 +414,7 @@ mod tests {
             Request::Checkpoint,
             Request::Persist { snapshot_id: 2 },
             Request::Shutdown,
+            Request::Metrics,
         ];
         for req in requests {
             let json = serde_json::to_string(&req).unwrap();
@@ -395,6 +498,53 @@ mod tests {
         // The grammar documented in docs/SERVICE.md.
         let json = serde_json::to_string(&Response::Busy { retry_after_ms: 5 }).unwrap();
         assert!(json.contains("\"Busy\"") && json.contains("retry_after_ms"), "{json}");
+    }
+
+    #[test]
+    fn metrics_report_round_trips_the_wire_format() {
+        let report = MetricsReport {
+            counters: vec![CounterSample {
+                name: "exadigit_requests_total".into(),
+                labels: vec![("type".into(), "Query".into())],
+                value: 41,
+            }],
+            gauges: vec![GaugeSample {
+                name: "exadigit_queue_depth".into(),
+                labels: vec![],
+                value: 3.0,
+            }],
+            histograms: vec![HistogramSample {
+                name: "exadigit_request_seconds".into(),
+                labels: vec![("type".into(), "Query".into())],
+                count: 41,
+                sum: 0.9,
+                p50: 0.01,
+                p90: 0.05,
+                p99: 0.2,
+            }],
+            slow_queries: vec![SlowQueryEntry {
+                at_us: 1_000_000,
+                request: "QueryBatch".into(),
+                detail: "snapshot 1, 64 specs".into(),
+                queue_us: 120,
+                handle_us: 450_000,
+            }],
+            trace: vec![TraceEntry {
+                at_us: 999_000,
+                conn: 2,
+                seq: 7,
+                request: "Query".into(),
+                stage: "written".into(),
+                stage_us: 840,
+            }],
+            recovery_warnings: vec!["manifest line 3: bad id".into()],
+        };
+        let resp = Response::Metrics(report);
+        let json = serde_json::to_string(&resp).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(resp, back, "round trip failed for {json}");
+        // Label pairs ride as JSON arrays (vendored serde tuple impls).
+        assert!(json.contains("[\"type\",\"Query\"]"), "{json}");
     }
 
     #[test]

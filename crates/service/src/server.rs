@@ -14,10 +14,15 @@
 //! can never wedge requests that don't need the live twin.
 
 use crate::cache::{scenario_fingerprint, QueryCache};
+use crate::metrics::{request_kind, ServiceObs};
 use crate::persist::{checkpoint_path, read_json, write_json};
-use crate::protocol::{BatchOutcome, Request, Response, ServerStatus};
+use crate::protocol::{
+    BatchOutcome, CounterSample, GaugeSample, HistogramSample, MetricsReport, Request, Response,
+    ServerStatus, SlowQueryEntry, TraceEntry,
+};
 use crate::query::{run_whatif, WhatIfOutcome, WhatIfSpec};
 use crate::snapshot::{SnapshotStore, TwinSnapshot};
+use exadigit_obs::MetricValue;
 use exadigit_core::config::TwinConfig;
 use exadigit_core::twin::DigitalTwin;
 use exadigit_sim::ensemble::EnsembleRunner;
@@ -59,6 +64,9 @@ pub struct TwinService {
     /// Checkpoint the live twin after every N successful ingest batches
     /// (`None` = checkpoints stay explicit-only).
     auto_checkpoint_every: Option<u64>,
+    /// The observability hub: one registry every layer feeds, plus the
+    /// trace ring and slow-query log. Shared with the worker pool.
+    obs: Arc<ServiceObs>,
 }
 
 impl TwinService {
@@ -67,8 +75,16 @@ impl TwinService {
     /// streams from `seed`. Defaults: 32 snapshots, 1024 cached outcomes,
     /// process-default pool width (see the `with_*` builders).
     pub fn new(config: TwinConfig, feed: TelemetryFeed, seed: u64) -> Result<Self, String> {
+        let obs = Arc::new(ServiceObs::new());
         let mut twin = DigitalTwin::new(config)?;
         twin.set_wet_bulb(feed.wet_bulb().clone());
+        // Route the kernel's, cache's and store's instruments through
+        // the shared registry so one namespace observes every layer.
+        twin.set_kernel_metrics(obs.kernel.clone());
+        let mut store = SnapshotStore::new(32, seed);
+        store.set_metrics(obs.store.clone());
+        let mut cache = QueryCache::new(1024);
+        cache.set_metrics(obs.cache.clone());
         Ok(TwinService {
             live: Mutex::new(LiveState {
                 twin,
@@ -76,10 +92,11 @@ impl TwinService {
                 jobs_ingested: 0,
                 batches_since_checkpoint: 0,
             }),
-            snapshots: Mutex::new(SnapshotStore::new(32, seed)),
-            cache: Mutex::new(QueryCache::new(1024)),
+            snapshots: Mutex::new(store),
+            cache: Mutex::new(cache),
             threads: None,
             auto_checkpoint_every: None,
+            obs,
         })
     }
 
@@ -122,11 +139,13 @@ impl TwinService {
     /// reported via [`TwinService::recovery_warnings`], not silently
     /// dropped; a missing or torn checkpoint is a typed error.
     pub fn recover(dir: impl Into<PathBuf>) -> Result<Self, String> {
+        let obs = Arc::new(ServiceObs::new());
         let dir = dir.into();
-        let store = SnapshotStore::recover(&dir).map_err(|e| e.to_string())?;
+        let mut store = SnapshotStore::recover(&dir).map_err(|e| e.to_string())?;
+        store.set_metrics(obs.store.clone());
         let checkpoint: PersistedCheckpoint =
             read_json(&checkpoint_path(&dir)).map_err(|e| e.to_string())?;
-        let twin = DigitalTwin::from_state(&checkpoint.twin)?;
+        let mut twin = DigitalTwin::from_state(&checkpoint.twin)?;
         if twin.now() != checkpoint.now_s {
             return Err(format!(
                 "checkpoint claims t = {} s but the restored twin is at t = {} s",
@@ -134,6 +153,11 @@ impl TwinService {
                 twin.now()
             ));
         }
+        // Instruments are diagnostics, not state: a recovered service
+        // starts them at zero (the checkpoint never carried them).
+        twin.set_kernel_metrics(obs.kernel.clone());
+        let mut cache = QueryCache::new(1024);
+        cache.set_metrics(obs.cache.clone());
         Ok(TwinService {
             live: Mutex::new(LiveState {
                 twin,
@@ -142,9 +166,10 @@ impl TwinService {
                 batches_since_checkpoint: 0,
             }),
             snapshots: Mutex::new(store),
-            cache: Mutex::new(QueryCache::new(1024)),
+            cache: Mutex::new(cache),
             threads: None,
             auto_checkpoint_every: None,
+            obs,
         })
     }
 
@@ -159,20 +184,44 @@ impl TwinService {
     /// budget is preserved.
     pub fn with_cache_capacity(self, capacity: usize) -> Self {
         let bytes = self.cache.lock().byte_budget();
-        TwinService {
-            cache: Mutex::new(QueryCache::new(capacity).with_byte_budget(bytes)),
-            ..self
-        }
+        let mut cache = QueryCache::new(capacity).with_byte_budget(bytes);
+        cache.set_metrics(self.obs.cache.clone());
+        TwinService { cache: Mutex::new(cache), ..self }
     }
 
     /// Cap the query cache's resident bytes (builder style); the entry
     /// cap is preserved.
     pub fn with_cache_bytes(self, bytes: usize) -> Self {
         let capacity = self.cache.lock().capacity();
-        TwinService {
-            cache: Mutex::new(QueryCache::new(capacity).with_byte_budget(bytes)),
-            ..self
-        }
+        let mut cache = QueryCache::new(capacity).with_byte_budget(bytes);
+        cache.set_metrics(self.obs.cache.clone());
+        TwinService { cache: Mutex::new(cache), ..self }
+    }
+
+    /// Turn the hot-path instrumentation on or off (builder style; on by
+    /// default). Off skips request timing, tracing and counting — the
+    /// arm the overhead benchmark compares against. Exposition keeps
+    /// working either way; counters simply stop moving.
+    pub fn with_observability(self, enabled: bool) -> Self {
+        self.obs.set_enabled(enabled);
+        self
+    }
+
+    /// Runtime form of [`Self::with_observability`]: flip the
+    /// instrumentation on a live service (one relaxed atomic store).
+    /// Lets an operator silence a hot twin without restarting it, and
+    /// lets the overhead benchmark interleave instrumented and
+    /// uninstrumented work on the *same* service instance.
+    pub fn set_observability(&self, enabled: bool) {
+        self.obs.set_enabled(enabled);
+    }
+
+    /// Set the slow-query threshold (builder style): a request whose
+    /// queue + handle time reaches `micros` is recorded in the
+    /// slow-query log surfaced by [`Request::Metrics`]. Default 250 ms.
+    pub fn with_slow_query_threshold_us(self, micros: u64) -> Self {
+        self.obs.slowlog.set_threshold_us(micros);
+        self
     }
 
     /// Pin the pool width query fan-out uses (builder style).
@@ -205,9 +254,23 @@ impl TwinService {
 
     /// Handle one request. Thread-safe: ingest serialises on the live
     /// twin, queries run lock-free after resolving their snapshot.
+    /// Every call lands in `exadigit_requests_total{type}` and the
+    /// per-type latency histogram (unless observability is off).
     pub fn handle(&self, request: &Request) -> Response {
+        if !self.obs.on() {
+            return self.dispatch(request);
+        }
+        let started = std::time::Instant::now();
+        let response = self.dispatch(request);
+        let kind = request_kind(request);
+        self.obs.requests_total[kind].inc();
+        self.obs.handle_seconds[kind].observe_duration(started.elapsed());
+        response
+    }
+
+    fn dispatch(&self, request: &Request) -> Response {
         match request {
-            Request::Status => self.status(),
+            Request::Status => Response::Status(self.server_status()),
             Request::Advance { seconds } => self.advance(*seconds),
             Request::Snapshot { label } => self.take_snapshot(label.clone()),
             Request::ListSnapshots => Response::Snapshots(self.snapshots.lock().list()),
@@ -217,10 +280,97 @@ impl TwinService {
             Request::Checkpoint => self.checkpoint(),
             Request::Persist { snapshot_id } => self.persist(*snapshot_id),
             Request::Shutdown => Response::ShuttingDown,
+            Request::Metrics => Response::Metrics(self.metrics_report()),
         }
     }
 
-    fn status(&self) -> Response {
+    /// The observability hub (shared with the worker pool, which feeds
+    /// the queue/wakeup instruments and the trace ring).
+    pub(crate) fn obs(&self) -> &Arc<ServiceObs> {
+        &self.obs
+    }
+
+    /// Render the whole registry in Prometheus text exposition format
+    /// 0.0.4, refreshing the live-state gauges first. This is what the
+    /// optional HTTP sidecar (`TwinServer::with_metrics_http`) serves on
+    /// `GET /metrics`.
+    pub fn render_prometheus(&self) -> String {
+        let _ = self.server_status();
+        self.obs.registry.render_prometheus()
+    }
+
+    /// Assemble the typed [`MetricsReport`] the `Metrics` verb answers
+    /// with: every registry sample (live gauges refreshed first), the
+    /// trace ring, the slow-query log, and any recovery warnings.
+    pub fn metrics_report(&self) -> MetricsReport {
+        let _ = self.server_status();
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut histograms = Vec::new();
+        for sample in self.obs.registry.samples() {
+            match sample.value {
+                MetricValue::Counter(value) => counters.push(CounterSample {
+                    name: sample.name,
+                    labels: sample.labels,
+                    value,
+                }),
+                MetricValue::Gauge(value) => gauges.push(GaugeSample {
+                    name: sample.name,
+                    labels: sample.labels,
+                    value,
+                }),
+                MetricValue::Histogram(h) => histograms.push(HistogramSample {
+                    name: sample.name,
+                    labels: sample.labels,
+                    count: h.count,
+                    sum: h.sum,
+                    p50: h.quantile(0.50),
+                    p90: h.quantile(0.90),
+                    p99: h.quantile(0.99),
+                }),
+            }
+        }
+        let slow_queries = self
+            .obs
+            .slowlog
+            .entries()
+            .into_iter()
+            .map(|s| SlowQueryEntry {
+                at_us: s.at_us,
+                request: s.request.to_string(),
+                detail: s.detail,
+                queue_us: s.queue_us,
+                handle_us: s.handle_us,
+            })
+            .collect();
+        let trace = self
+            .obs
+            .trace
+            .recent(usize::MAX)
+            .into_iter()
+            .map(|e| TraceEntry {
+                at_us: e.at_us,
+                conn: e.conn,
+                seq: e.seq,
+                request: e.request.to_string(),
+                stage: e.stage.name().to_string(),
+                stage_us: e.stage_us,
+            })
+            .collect();
+        MetricsReport {
+            counters,
+            gauges,
+            histograms,
+            slow_queries,
+            trace,
+            recovery_warnings: self.recovery_warnings(),
+        }
+    }
+
+    /// Build the `Status` payload and mirror it into the registry's
+    /// live-state gauges, so both exposition surfaces and the `Status`
+    /// verb always report the same numbers.
+    fn server_status(&self) -> ServerStatus {
         // Copy the live fields out and release the lock before touching
         // the cache and snapshot stores: holding live across the other
         // locks would let a long Advance wedge every Status probe that
@@ -236,6 +386,7 @@ impl TwinService {
             online_l3_steps,
             online_l4_steps,
             online_trusted_regimes,
+            online_fallback_steps,
         ) = {
             let live = self.live.lock();
             let (running, pending) = live.twin.queue_state();
@@ -255,6 +406,7 @@ impl TwinService {
                 counter("online.l3_steps"),
                 counter("online.l4_steps"),
                 counter("online.trusted_regimes"),
+                counter("online.fallback_steps"),
             )
         };
         let (cache_entries, cache_hits, cache_misses) = {
@@ -266,7 +418,7 @@ impl TwinService {
             let store = self.snapshots.lock();
             (store.len() as u64, store.memory_stats())
         };
-        Response::Status(ServerStatus {
+        let status = ServerStatus {
             now_s,
             running_jobs,
             pending_jobs,
@@ -285,7 +437,14 @@ impl TwinService {
             snapshots_spilled: memory.spilled as u64,
             snapshot_shared_bytes: memory.shared_bytes as u64,
             snapshot_owned_bytes: memory.owned_bytes as u64,
-        })
+        };
+        // Mirror into the registry so a Prometheus scrape and a Status
+        // probe taken back to back agree. `online.fallback_steps` rides
+        // only the exposition: ServerStatus's wire shape is frozen.
+        if self.obs.on() {
+            self.obs.set_status_gauges(&status, online_fallback_steps);
+        }
+        status
     }
 
     fn advance(&self, seconds: u64) -> Response {

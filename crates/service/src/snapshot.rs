@@ -20,6 +20,7 @@ use crate::persist::{
     ManifestHeader, PersistError, MANIFEST_FORMAT_VERSION,
 };
 use exadigit_core::twin::DigitalTwin;
+use exadigit_obs::{Counter, Histogram, LATENCY_BUCKETS_S};
 use exadigit_sim::Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -62,6 +63,30 @@ impl TwinSnapshot {
             taken_at_s: self.taken_at_s,
             running_jobs: running as u64,
             pending_jobs: pending as u64,
+        }
+    }
+}
+
+/// The store's registry handles: disk-tier timing histograms plus the
+/// spill counter. Defaults to detached (unregistered) instruments so a
+/// standalone store still measures; the service swaps in
+/// registry-backed handles via [`SnapshotStore::set_metrics`].
+#[derive(Clone)]
+pub(crate) struct StoreMetrics {
+    /// Time to serialize + write one snapshot to the disk tier.
+    pub persist_seconds: Histogram,
+    /// Time to load one spilled snapshot back from disk.
+    pub rehydrate_seconds: Histogram,
+    /// Resident snapshots evicted to the disk tier by the memory cap.
+    pub spills: Counter,
+}
+
+impl Default for StoreMetrics {
+    fn default() -> Self {
+        StoreMetrics {
+            persist_seconds: Histogram::new(&LATENCY_BUCKETS_S),
+            rehydrate_seconds: Histogram::new(&LATENCY_BUCKETS_S),
+            spills: Counter::new(),
         }
     }
 }
@@ -133,6 +158,9 @@ pub struct SnapshotStore {
     persist_dir: Option<PathBuf>,
     /// Per-line damage reports from a recovered manifest.
     warnings: Vec<String>,
+    /// Disk-tier instruments (timings + spill count). Not state: absent
+    /// from the manifest, reset on recovery.
+    metrics: StoreMetrics,
 }
 
 impl SnapshotStore {
@@ -147,7 +175,14 @@ impl SnapshotStore {
             seed,
             persist_dir: None,
             warnings: Vec::new(),
+            metrics: StoreMetrics::default(),
         }
+    }
+
+    /// Attach registry-backed instruments, replacing the detached
+    /// defaults.
+    pub(crate) fn set_metrics(&mut self, metrics: StoreMetrics) {
+        self.metrics = metrics;
     }
 
     /// Enable the disk tier on an empty store: every subsequent adopt is
@@ -192,6 +227,7 @@ impl SnapshotStore {
             seed: manifest.header.seed,
             persist_dir: Some(dir),
             warnings: manifest.damaged,
+            metrics: StoreMetrics::default(),
         })
     }
 
@@ -286,11 +322,15 @@ impl SnapshotStore {
                 .find(|&id| id != keep_id)
                 .expect("over-capacity store has a second entry");
             self.snapshots.remove(&oldest);
+            self.metrics.spills.inc();
         }
     }
 
     /// Write one snapshot's file and record its manifest entry.
     fn persist_snapshot(&mut self, snapshot: &TwinSnapshot) -> Result<(), PersistError> {
+        // Disk-path timing: a few ns of Instant overhead against ms of
+        // serde + I/O, so no enabled gate here.
+        let started = std::time::Instant::now();
         let dir = self.persist_dir.clone().expect("disk tier enabled");
         let path = snapshot_path(&dir, snapshot.id);
         let twin_state = snapshot.twin.save_state().map_err(|detail| PersistError::Corrupt {
@@ -319,6 +359,7 @@ impl SnapshotStore {
                 pending_jobs: pending as u64,
             },
         );
+        self.metrics.persist_seconds.observe_duration(started.elapsed());
         Ok(())
     }
 
@@ -356,6 +397,7 @@ impl SnapshotStore {
 
     /// Load a spilled snapshot's file back into a live [`TwinSnapshot`].
     fn rehydrate(&self, id: u64) -> Result<Arc<TwinSnapshot>, PersistError> {
+        let started = std::time::Instant::now();
         let dir = self.persist_dir.as_deref().expect("spilled entries imply a disk tier");
         let path = snapshot_path(dir, id);
         let persisted: PersistedSnapshot = read_json(&path)?;
@@ -367,6 +409,7 @@ impl SnapshotStore {
         }
         let twin = DigitalTwin::from_state(&persisted.twin)
             .map_err(|detail| PersistError::Corrupt { path, detail })?;
+        self.metrics.rehydrate_seconds.observe_duration(started.elapsed());
         Ok(Arc::new(TwinSnapshot {
             id: persisted.id,
             label: persisted.label,
@@ -540,6 +583,8 @@ mod tests {
         let dir = scratch_dir("spill");
         let mut store =
             SnapshotStore::new(2, 7).with_persist_dir(&dir).expect("fresh dir accepts the tier");
+        let metrics = StoreMetrics::default();
+        store.set_metrics(metrics.clone());
         let live = live_twin();
         store.take(&live, "a".into()).unwrap();
         store.take(&live, "b".into()).unwrap();
@@ -562,6 +607,13 @@ mod tests {
         let mut fork = back.fork().unwrap();
         fork.run(600).unwrap();
         assert_eq!(fork.report().jobs_completed, 1);
+        // The instruments saw every disk-tier transition: three
+        // persists, two capacity spills (the third take spilled id 1;
+        // rehydrating id 1 spilled id 2), one rehydrate.
+        assert_eq!(metrics.persist_seconds.count(), 3);
+        assert_eq!(metrics.spills.get(), 2);
+        assert_eq!(metrics.rehydrate_seconds.count(), 1);
+        assert!(metrics.persist_seconds.sum() > 0.0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -497,3 +497,164 @@ fn client_storm_converges_through_retry_on_busy() {
     // above pins that refusals actually happen under overload.)
     handle.shutdown();
 }
+
+/// The `Metrics` verb over the wire: one registry observed every layer,
+/// so the typed report carries live per-request histograms, cache
+/// counters that agree with `Status`, and a request trace whose events
+/// name this very connection's requests.
+#[test]
+fn metrics_verb_reports_live_instruments_over_the_wire() {
+    let handle = spawn_server();
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+    client.request(&Request::Advance { seconds: 900 }).unwrap();
+    let Response::SnapshotTaken(info) =
+        client.request(&Request::Snapshot { label: "base".into() }).unwrap()
+    else {
+        panic!()
+    };
+    let query = Request::Query {
+        snapshot_id: info.id,
+        spec: WhatIfSpec { horizon_s: 300, ..WhatIfSpec::default() },
+    };
+    client.request(&query).unwrap(); // miss
+    client.request(&query).unwrap(); // hit
+    let Response::Status(status) = client.request(&Request::Status).unwrap() else { panic!() };
+    let Response::Metrics(report) = client.request(&Request::Metrics).unwrap() else {
+        panic!("Metrics verb must answer Response::Metrics")
+    };
+
+    let counter = |name: &str, label: Option<(&str, &str)>| -> u64 {
+        report
+            .counters
+            .iter()
+            .find(|c| {
+                c.name == name
+                    && label.is_none_or(|(k, v)| {
+                        c.labels.iter().any(|(lk, lv)| lk == k && lv == v)
+                    })
+            })
+            .unwrap_or_else(|| panic!("missing counter {name}"))
+            .value
+    };
+    // Request accounting: exactly what this client sent (plus nothing —
+    // the loopback server has no other clients).
+    assert_eq!(counter("exadigit_requests_total", Some(("type", "Advance"))), 1);
+    assert_eq!(counter("exadigit_requests_total", Some(("type", "Query"))), 2);
+    assert_eq!(counter("exadigit_requests_total", Some(("type", "Status"))), 1);
+    // Cache counters agree with the Status probe taken on the same
+    // connection (single source of truth).
+    assert_eq!(counter("exadigit_cache_hits_total", None), status.cache_hits);
+    assert_eq!(counter("exadigit_cache_misses_total", None), status.cache_misses);
+    assert!(status.cache_hits >= 1 && status.cache_misses >= 1);
+    // The kernel's counters crossed the service boundary: a synthetic
+    // 15 min of Frontier ingest sees arrivals and record boundaries.
+    assert!(counter("exadigit_kernel_events_total", Some(("kind", "job_arrival"))) > 0);
+
+    // Per-type latency histograms hold one observation per request.
+    let hist = report
+        .histograms
+        .iter()
+        .find(|h| {
+            h.name == "exadigit_request_seconds"
+                && h.labels.iter().any(|(k, v)| k == "type" && v == "Query")
+        })
+        .expect("Query latency histogram");
+    assert_eq!(hist.count, 2);
+    assert!(hist.sum > 0.0);
+    assert!(hist.p50 <= hist.p90 && hist.p90 <= hist.p99);
+
+    // Live gauges mirrored from the status collection.
+    let gauge = |name: &str| -> f64 {
+        report
+            .gauges
+            .iter()
+            .find(|g| g.name == name)
+            .unwrap_or_else(|| panic!("missing gauge {name}"))
+            .value
+    };
+    assert_eq!(gauge("exadigit_live_now_seconds"), status.now_s as f64);
+    assert_eq!(gauge("exadigit_snapshots"), 1.0);
+
+    // The trace ring saw this connection's lifecycle: every request
+    // admitted, executed, written.
+    assert!(!report.trace.is_empty());
+    assert!(report.trace.iter().any(|t| t.request == "Query" && t.stage == "executing"));
+    assert!(report.trace.iter().any(|t| t.request == "Advance" && t.stage == "written"));
+    let mut stages: Vec<&str> = report
+        .trace
+        .iter()
+        .filter(|t| t.request == "Advance")
+        .map(|t| t.stage.as_str())
+        .collect();
+    stages.dedup();
+    assert_eq!(stages, vec!["admitted", "executing", "written"]);
+
+    // A power-only twin exposes no cooling gauges and a clean start has
+    // no recovery warnings.
+    assert!(!report.gauges.iter().any(|g| g.name == "exadigit_pue"));
+    assert!(report.recovery_warnings.is_empty());
+    handle.shutdown();
+}
+
+/// The Prometheus sidecar scraped over real HTTP: same registry as the
+/// `Metrics` verb, rendered in text exposition format 0.0.4.
+#[test]
+fn http_sidecar_serves_prometheus_text() {
+    use std::io::{Read, Write};
+    let handle = TwinServer::bind(service(), "127.0.0.1:0")
+        .unwrap()
+        .with_metrics_http("127.0.0.1:0")
+        .unwrap()
+        .spawn();
+    let metrics_addr = handle.metrics_addr().expect("sidecar was configured");
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+    client.request(&Request::Advance { seconds: 600 }).unwrap();
+    client.request(&Request::Status).unwrap();
+
+    let scrape = |path: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(metrics_addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        body
+    };
+    let response = scrape("/metrics");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+    assert!(response.contains("text/plain; version=0.0.4"), "{response}");
+    assert!(response.contains("# TYPE exadigit_requests_total counter"), "{response}");
+    assert!(response.contains("exadigit_requests_total{type=\"Advance\"} 1"), "{response}");
+    assert!(response.contains("exadigit_request_seconds_bucket"), "{response}");
+    assert!(response.contains("exadigit_live_now_seconds 600"), "{response}");
+    assert!(scrape("/nope").starts_with("HTTP/1.1 404"), "unknown paths 404");
+    handle.shutdown();
+}
+
+/// Observability off is a real off switch: the hot-path instruments
+/// stop moving while the service keeps answering correctly.
+#[test]
+fn disabled_observability_stops_the_counters_not_the_service() {
+    let svc = service().with_observability(false);
+    let handle = TwinServer::bind(svc, "127.0.0.1:0").unwrap().spawn();
+    let mut client = ServiceClient::connect(handle.addr()).unwrap();
+    let Response::Advanced { now_s, .. } =
+        client.request(&Request::Advance { seconds: 300 }).unwrap()
+    else {
+        panic!()
+    };
+    assert_eq!(now_s, 300);
+    let Response::Metrics(report) = client.request(&Request::Metrics).unwrap() else {
+        panic!()
+    };
+    let advances = report
+        .counters
+        .iter()
+        .find(|c| {
+            c.name == "exadigit_requests_total"
+                && c.labels.iter().any(|(k, v)| k == "type" && v == "Advance")
+        })
+        .expect("instrument stays registered")
+        .value;
+    assert_eq!(advances, 0, "disabled instrumentation must not count");
+    assert!(report.trace.is_empty(), "no trace events when disabled");
+    handle.shutdown();
+}

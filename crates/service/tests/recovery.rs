@@ -208,6 +208,47 @@ fn corrupt_manifest_line_is_reported_not_skipped() {
 }
 
 #[test]
+fn recovery_warnings_travel_the_wire() {
+    let dir = scratch_dir("warn-wire");
+    {
+        let svc = durable_service(&dir);
+        svc.handle(&Request::Advance { seconds: 1_200 });
+        svc.handle(&Request::Snapshot { label: "a".into() });
+        svc.handle(&Request::Snapshot { label: "b".into() });
+        svc.handle(&Request::Checkpoint);
+    }
+    // Same in-place damage as above: a mangled entry line with a
+    // truthful length prefix.
+    let manifest = dir.join("manifest.json");
+    let bytes = std::fs::read(&manifest).unwrap();
+    let text = String::from_utf8(bytes[8..].to_vec()).unwrap();
+    let mangled: Vec<String> = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| if i == 1 { "{broken".to_string() } else { l.to_string() })
+        .collect();
+    let payload = mangled.join("\n") + "\n";
+    let mut rewritten = (payload.len() as u64).to_le_bytes().to_vec();
+    rewritten.extend_from_slice(payload.as_bytes());
+    std::fs::write(&manifest, rewritten).unwrap();
+
+    // A remote operator never calls `recovery_warnings()` directly; the
+    // Metrics verb must carry the same report over a real socket.
+    let svc = TwinService::recover(&dir).unwrap();
+    let handle =
+        exadigit_service::TwinServer::bind(svc, "127.0.0.1:0").expect("bind loopback").spawn();
+    let mut client =
+        exadigit_service::ServiceClient::connect(handle.addr()).expect("connect loopback");
+    let Response::Metrics(report) = client.request(&Request::Metrics).unwrap() else {
+        panic!("Metrics request must answer with a metrics report");
+    };
+    assert_eq!(report.recovery_warnings.len(), 1, "the damaged line travels the wire");
+    assert!(report.recovery_warnings[0].contains("line 2"), "{}", report.recovery_warnings[0]);
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn corrupt_manifest_header_fails_recovery_with_a_typed_error() {
     let dir = scratch_dir("bad-header");
     {

@@ -26,8 +26,14 @@ fn main() {
         42,
     )
     .expect("frontier config is valid");
-    let handle = TwinServer::bind(service, "127.0.0.1:0").expect("bind loopback").spawn();
+    let handle = TwinServer::bind(service, "127.0.0.1:0")
+        .expect("bind loopback")
+        .with_metrics_http("127.0.0.1:0")
+        .expect("bind metrics sidecar")
+        .spawn();
+    let metrics_addr = handle.metrics_addr().expect("sidecar is attached");
     println!("server listening on {}", handle.addr());
+    println!("metrics sidecar on http://{metrics_addr}/metrics");
 
     // 2. Ingest a telemetry day: the live twin advances to t = 86,400 s,
     //    pulling every job the feed carries.
@@ -145,6 +151,30 @@ fn main() {
         status.cache_misses
     );
     assert!(status.cache_hits >= 1);
+
+    // 6. Scrape the Prometheus sidecar like a collector would: plain
+    //    HTTP GET, text exposition format 0.0.4, counters that agree
+    //    with the work done above.
+    let scrape = {
+        use std::io::{Read, Write};
+        let mut sock = std::net::TcpStream::connect(metrics_addr).expect("connect sidecar");
+        sock.write_all(b"GET /metrics HTTP/1.1\r\nHost: twin\r\nConnection: close\r\n\r\n")
+            .expect("send scrape");
+        let mut text = String::new();
+        sock.read_to_string(&mut text).expect("read scrape");
+        text
+    };
+    assert!(scrape.starts_with("HTTP/1.1 200 OK"), "scrape must succeed");
+    assert!(scrape.contains("text/plain; version=0.0.4"), "Prometheus text format");
+    assert!(scrape.contains("# TYPE exadigit_requests_total counter"));
+    assert!(
+        scrape.contains("exadigit_requests_total{type=\"Query\"} 4"),
+        "three concurrent queries plus the cache re-ask were counted"
+    );
+    assert!(scrape.contains("exadigit_cache_hits_total 1"));
+    assert!(scrape.contains("exadigit_live_now_seconds 86400"));
+    assert!(scrape.contains("exadigit_request_seconds_bucket"), "latency histograms exposed");
+    println!("scraped {} bytes of Prometheus exposition ✓", scrape.len());
 
     handle.shutdown();
     println!("\nserver shut down cleanly ✓");
